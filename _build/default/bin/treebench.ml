@@ -1,0 +1,261 @@
+(* treebench command-line interface.
+
+   Subcommands:
+     figure  — regenerate one of the paper's tables/figures
+     query   — build a Derby database and run an OQL query against it,
+               with any algorithm/access-path override
+     plan    — show the plan both optimizers pick for a query
+     load    — loading-cost experiment (Section 3.2 knobs exposed)
+     list    — list reproducible figures *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Scale divisor: databases at 1/SCALE of the paper's size." in
+  Arg.(value & opt int 100 & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let shape_arg =
+  let shape_conv =
+    Arg.enum [ ("wide", `Wide); ("1:1000", `Wide); ("deep", `Deep); ("1:3", `Deep) ]
+  in
+  let doc = "Database shape: wide (2,000 x 1,000) or deep (1,000,000 x 3)." in
+  Arg.(value & opt shape_conv `Deep & info [ "shape" ] ~docv:"SHAPE" ~doc)
+
+let org_conv =
+  Arg.enum
+    [
+      ("class", Tb_derby.Generator.Class_clustered);
+      ("random", Tb_derby.Generator.Randomized);
+      ("composition", Tb_derby.Generator.Composition);
+      ("assoc", Tb_derby.Generator.Assoc_ordered);
+    ]
+
+let org_arg =
+  let doc = "Physical organization: class, random, composition or assoc." in
+  Arg.(
+    value
+    & opt org_conv Tb_derby.Generator.Class_clustered
+    & info [ "o"; "organization" ] ~docv:"ORG" ~doc)
+
+let build_db ~scale ~shape ~org =
+  let cfg = Tb_derby.Generator.config ~scale shape org in
+  Tb_derby.Generator.build ~cost:(Tb_sim.Cost_model.scaled scale) cfg
+
+(* --- figure --- *)
+
+let figure_cmd =
+  let name_arg =
+    let doc =
+      Printf.sprintf "Figure to regenerate: %s."
+        (String.concat ", " Tb_core.Figures.names)
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
+  in
+  let csv_arg =
+    let doc = "Export the recorded observations as CSV to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let gnuplot_arg =
+    let doc =
+      "Write $(docv).dat and $(docv).gp (Gnuplot series and plot script) \
+       from the recorded observations — the paper's O2-to-Gnuplot pipeline."
+    in
+    Arg.(value & opt (some string) None & info [ "gnuplot" ] ~docv:"PREFIX" ~doc)
+  in
+  let run name scale csv gnuplot =
+    match Tb_core.Figures.by_name name with
+    | exception Not_found ->
+        Printf.eprintf "unknown figure %S\n" name;
+        exit 2
+    | f ->
+        let ctx = Tb_core.Figures.create ~scale in
+        f ctx Format.std_formatter;
+        let stats = Tb_core.Figures.stats ctx in
+        Option.iter
+          (fun path ->
+            let oc = open_out path in
+            output_string oc (Tb_statdb.Stat_store.to_csv stats);
+            close_out oc;
+            Printf.printf "[stats] written to %s\n" path)
+          csv;
+        Option.iter
+          (fun prefix ->
+            let dat = prefix ^ ".dat" and gp = prefix ^ ".gp" in
+            let oc = open_out dat in
+            output_string oc (Tb_statdb.Stat_report.gnuplot_data stats);
+            close_out oc;
+            let oc = open_out gp in
+            output_string oc
+              (Tb_statdb.Stat_report.gnuplot_script ~data_file:dat stats);
+            close_out oc;
+            print_string (Tb_statdb.Stat_report.summary stats);
+            Printf.printf "[gnuplot] %s and %s written\n" dat gp)
+          gnuplot
+  in
+  let doc = "Regenerate one of the paper's tables or figures." in
+  Cmd.v (Cmd.info "figure" ~doc)
+    Term.(const run $ name_arg $ scale_arg $ csv_arg $ gnuplot_arg)
+
+(* --- query --- *)
+
+let query_cmd =
+  let oql_arg =
+    let doc = "The OQL query (extents: Providers, Patients)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL" ~doc)
+  in
+  let algo_arg =
+    let algo_conv =
+      Arg.enum
+        [
+          ("nl", Tb_query.Plan.NL);
+          ("nojoin", Tb_query.Plan.NOJOIN);
+          ("phj", Tb_query.Plan.PHJ);
+          ("chj", Tb_query.Plan.CHJ);
+          ("phhj", Tb_query.Plan.PHHJ);
+          ("chhj", Tb_query.Plan.CHHJ);
+          ("smj", Tb_query.Plan.SMJ);
+        ]
+    in
+    let doc = "Force the join algorithm (nl, nojoin, phj, chj, phhj, chhj, smj)." in
+    Arg.(value & opt (some algo_conv) None & info [ "a"; "algo" ] ~docv:"ALGO" ~doc)
+  in
+  let seq_arg =
+    let doc = "Force sequential scans (ignore indexes)." in
+    Arg.(value & flag & info [ "seq" ] ~doc)
+  in
+  let sorted_arg =
+    let doc = "Sort Rids in index scans (true/false)." in
+    Arg.(value & opt (some bool) None & info [ "sorted" ] ~docv:"BOOL" ~doc)
+  in
+  let show_arg =
+    let doc = "Print the first rows of the result." in
+    Arg.(value & flag & info [ "show" ] ~doc)
+  in
+  let run oql scale shape org algo seq sorted show =
+    let b = build_db ~scale ~shape ~org in
+    let m =
+      Tb_core.Measurement.run_cold b.Tb_derby.Generator.db oql
+        ~organization:(Tb_derby.Generator.estimate_organization b.Tb_derby.Generator.cfg)
+        ?force_algo:algo ~force_seq:seq ?force_sorted:sorted ~label:"query"
+    in
+    Format.printf "%a@." Tb_core.Measurement.pp m;
+    if show then begin
+      Tb_store.Database.cold_restart b.Tb_derby.Generator.db;
+      let r =
+        Tb_query.Planner.run b.Tb_derby.Generator.db oql ?force_algo:algo
+          ~force_seq:seq ?force_sorted:sorted ~keep:false
+      in
+      List.iter
+        (fun v -> Format.printf "  %a@." Tb_store.Value.pp v)
+        (Tb_query.Query_result.sample r);
+      Tb_query.Query_result.dispose r
+    end
+  in
+  let doc = "Build a Derby database and run one OQL query, cold." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(
+      const run $ oql_arg $ scale_arg $ shape_arg $ org_arg $ algo_arg
+      $ seq_arg $ sorted_arg $ show_arg)
+
+(* --- plan --- *)
+
+let plan_cmd =
+  let oql_arg =
+    let doc = "The OQL query to plan." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OQL" ~doc)
+  in
+  let run oql scale shape org =
+    let b = build_db ~scale ~shape ~org in
+    let db = b.Tb_derby.Generator.db in
+    let q = Tb_query.Oql_parser.parse oql in
+    let organization =
+      Tb_derby.Generator.estimate_organization b.Tb_derby.Generator.cfg
+    in
+    let heuristic = Tb_query.Planner.plan ~mode:Tb_query.Planner.Heuristic ~organization db q in
+    let cost_based = Tb_query.Planner.plan ~mode:Tb_query.Planner.Cost_based ~organization db q in
+    Format.printf "parsed:     %a@." Tb_query.Oql_ast.pp_query q;
+    Format.printf "heuristic:  %a@." Tb_query.Plan.pp heuristic;
+    Format.printf "cost-based: %a@." Tb_query.Plan.pp cost_based;
+    match Tb_query.Plan.bind db q with
+    | Tb_query.Plan.B_hier _ as bound ->
+        let env = Tb_query.Planner.join_env db bound ~organization in
+        Format.printf "estimates:@.";
+        List.iter
+          (fun (algo, ms) ->
+            Format.printf "  %-8s %10.2f s@."
+              (Tb_query.Plan.algo_name algo)
+              (ms /. 1000.0))
+          (Tb_query.Estimate.rank_joins env)
+    | Tb_query.Plan.B_selection _ -> ()
+  in
+  let doc = "Show the plans both optimizers pick, with cost estimates." in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(const run $ oql_arg $ scale_arg $ shape_arg $ org_arg)
+
+(* --- load --- *)
+
+let load_cmd =
+  let txn_arg =
+    let doc = "Load under standard transactions instead of transaction-off." in
+    Arg.(value & flag & info [ "standard-txn" ] ~doc)
+  in
+  let unindexed_arg =
+    let doc =
+      "Create objects without index slots (the first index then reallocates \
+       every object — the Section 3.2 trap)."
+    in
+    Arg.(value & flag & info [ "unindexed-creation" ] ~doc)
+  in
+  let small_cache_arg =
+    let doc = "Use the default 4 MB client cache instead of the tuned 32 MB." in
+    Arg.(value & flag & info [ "small-client-cache" ] ~doc)
+  in
+  let run scale shape org standard unindexed small_cache =
+    let cfg = Tb_derby.Generator.config ~scale shape org in
+    let cfg =
+      {
+        cfg with
+        Tb_derby.Generator.txn_mode =
+          (if standard then Tb_store.Transaction.Standard
+           else Tb_store.Transaction.Load_off);
+        indexed_creation = not unindexed;
+        client_pages =
+          (if small_cache then cfg.Tb_derby.Generator.server_pages
+           else cfg.Tb_derby.Generator.client_pages);
+      }
+    in
+    let b = Tb_derby.Generator.build ~cost:(Tb_sim.Cost_model.scaled scale) cfg in
+    Printf.printf
+      "loaded %d providers and %d patients (%s, 1/%d scale) in %.2f simulated \
+       seconds\n"
+      (Array.length b.Tb_derby.Generator.providers)
+      (Array.length b.Tb_derby.Generator.patients)
+      (match org with
+      | Tb_derby.Generator.Class_clustered -> "class clustering"
+      | Tb_derby.Generator.Randomized -> "random"
+      | Tb_derby.Generator.Composition -> "composition"
+      | Tb_derby.Generator.Assoc_ordered -> "assoc-ordered")
+      scale b.Tb_derby.Generator.load_seconds
+  in
+  let doc = "Measure database-loading cost under the Section 3.2 knobs." in
+  Cmd.v (Cmd.info "load" ~doc)
+    Term.(
+      const run $ scale_arg $ shape_arg $ org_arg $ txn_arg $ unindexed_arg
+      $ small_cache_arg)
+
+(* --- list --- *)
+
+let list_cmd =
+  let run () =
+    List.iter print_endline Tb_core.Figures.names
+  in
+  let doc = "List the figures that can be regenerated." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc =
+    "reproduce `Benchmarking Queries over Trees: Learning the Hard Truth the \
+     Hard Way' (SIGMOD 2000)"
+  in
+  let info = Cmd.info "treebench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ figure_cmd; query_cmd; plan_cmd; load_cmd; list_cmd ]))

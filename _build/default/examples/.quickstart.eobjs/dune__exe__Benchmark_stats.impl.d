@@ -1,0 +1,1 @@
+examples/benchmark_stats.ml: Array Filename Float Format List Printf Tb_core Tb_derby Tb_query Tb_sim Tb_statdb Tb_store

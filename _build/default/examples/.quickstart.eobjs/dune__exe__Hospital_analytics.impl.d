@@ -1,0 +1,1 @@
+examples/hospital_analytics.ml: Array List Printf String Tb_core Tb_derby Tb_query Tb_sim

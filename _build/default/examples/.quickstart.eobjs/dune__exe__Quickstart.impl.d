@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf Tb_core Tb_derby Tb_query Tb_sim Tb_store

@@ -1,0 +1,1 @@
+examples/xml_documents.ml: Array Format List Printf Tb_query Tb_sim Tb_store

@@ -1,0 +1,88 @@
+(* The Section 3.3 workflow: run experiments, store every result as a Stat
+   object in an object database, then use the query language to analyse
+   them and export for plotting.
+
+     dune exec examples/benchmark_stats.exe *)
+
+module Generator = Tb_derby.Generator
+module Plan = Tb_query.Plan
+
+let () =
+  let store = Tb_statdb.Stat_store.create () in
+  (* Declare the extents of the measured database, with their link ratio,
+     as Figure 3's Extent class records them. *)
+  let scale = 300 in
+  let cfg = Generator.config ~scale `Deep Generator.Class_clustered in
+  let b = Generator.build ~cost:(Tb_sim.Cost_model.scaled scale) cfg in
+  ignore
+    (Tb_statdb.Stat_store.register_extent store ~classname:"Provider"
+       ~size:(Array.length b.Generator.providers) ~links:[]);
+  ignore
+    (Tb_statdb.Stat_store.register_extent store ~classname:"Patient"
+       ~size:(Array.length b.Generator.patients)
+       ~links:[ ("Provider", cfg.Generator.fanout) ]);
+
+  (* A little experiment campaign: 4 algorithms x 3 selectivities. *)
+  let numtest = ref 0 in
+  List.iter
+    (fun sel ->
+      List.iter
+        (fun algo ->
+          let nc = Array.length b.Generator.patients in
+          let np = Array.length b.Generator.providers in
+          let q =
+            Printf.sprintf
+              "select [p.name, pa.age] from p in Providers, pa in p.clients \
+               where pa.mrn < %d and p.upin < %d"
+              (sel * nc / 100) (sel * np / 100)
+          in
+          let m =
+            Tb_core.Measurement.run_cold b.Generator.db q
+              ~force_algo:algo ~force_sorted:true
+              ~label:(Plan.algo_name algo)
+          in
+          incr numtest;
+          ignore
+            (Tb_statdb.Stat_store.record store
+               (Tb_core.Measurement.to_observation m ~numtest:!numtest
+                  ~query_text:q ~selectivity:sel ~database:"deep/300"
+                  ~cluster:"class" ~algo:(Plan.algo_name algo)
+                  ~server_cache_pages:cfg.Generator.server_pages
+                  ~client_cache_pages:cfg.Generator.client_pages)))
+        [ Plan.NL; Plan.NOJOIN; Plan.PHJ; Plan.CHJ ])
+    [ 10; 50; 90 ];
+  Printf.printf "Recorded %d Stat objects.\n\n" (Tb_statdb.Stat_store.count store);
+
+  (* "Once in a database, benchmark results are really easy to process.
+     Notably, a query language can be used to extract the information you
+     are looking for." *)
+  let oql = "select [s.algo, s.ElapsedTimeMs] from s in Stats where s.numtest < 5" in
+  Printf.printf "%s\n" oql;
+  let r = Tb_statdb.Stat_store.query store oql in
+  List.iter
+    (fun v -> Format.printf "  %a@." Tb_store.Value.pp v)
+    (Tb_query.Query_result.sample r);
+  Tb_query.Query_result.dispose r;
+
+  (* Slowest runs, straight from the observations. *)
+  Printf.printf "\nslowest three runs:\n";
+  let by_time =
+    List.sort
+      (fun a b ->
+        Float.compare b.Tb_statdb.Stat_store.elapsed_s
+          a.Tb_statdb.Stat_store.elapsed_s)
+      (Tb_statdb.Stat_store.observations store)
+  in
+  List.iteri
+    (fun i o ->
+      if i < 3 then
+        Printf.printf "  %-8s sel=%2d%%  %8.2f s\n" o.Tb_statdb.Stat_store.algo
+          o.Tb_statdb.Stat_store.selectivity o.Tb_statdb.Stat_store.elapsed_s)
+    by_time;
+
+  (* Export for the data-analysis / Gnuplot step the authors used YAT for. *)
+  let path = Filename.temp_file "treebench" ".csv" in
+  let oc = open_out path in
+  output_string oc (Tb_statdb.Stat_store.to_csv store);
+  close_out oc;
+  Printf.printf "\nCSV exported to %s\n" path

@@ -1,0 +1,48 @@
+(* Quickstart: build a small doctors-and-patients database, run OQL over it,
+   and look at what the optimizer did.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* A database at 1/500 of the paper's 1,000,000x3 shape: 2,000 providers,
+     6,000 patients, one file per class, with indexes on upin and mrn. *)
+  let scale = 500 in
+  let cfg =
+    Tb_derby.Generator.config ~scale `Deep Tb_derby.Generator.Class_clustered
+  in
+  let built = Tb_derby.Generator.build ~cost:(Tb_sim.Cost_model.scaled scale) cfg in
+  let db = built.Tb_derby.Generator.db in
+  Printf.printf "Loaded %d providers and %d patients in %.2f simulated seconds.\n\n"
+    (Array.length built.Tb_derby.Generator.providers)
+    (Array.length built.Tb_derby.Generator.patients)
+    built.Tb_derby.Generator.load_seconds;
+
+  (* A selection. *)
+  let selection = "select pa.name from pa in Patients where pa.num < 5" in
+  let r = Tb_query.Planner.run db selection ~keep:true in
+  Format.printf "%s@." selection;
+  List.iter
+    (fun v -> Format.printf "  -> %a@." Tb_store.Value.pp v)
+    (Tb_query.Query_result.values r);
+  Tb_query.Query_result.dispose r;
+
+  (* The paper's hierarchical join. *)
+  let join =
+    "select [p.name, pa.age] from p in Providers, pa in p.clients where \
+     pa.mrn < 600 and p.upin < 200"
+  in
+  Format.printf "@.%s@." join;
+  let q = Tb_query.Oql_parser.parse join in
+  let plan = Tb_query.Planner.plan db q in
+  Format.printf "  optimizer chose: %a@." Tb_query.Plan.pp plan;
+  let r = Tb_query.Exec.run db plan ~keep:false in
+  Format.printf "  %d result tuples, first few:@." (Tb_query.Query_result.count r);
+  List.iteri
+    (fun i v -> if i < 3 then Format.printf "    %a@." Tb_store.Value.pp v)
+    (Tb_query.Query_result.sample r);
+  Tb_query.Query_result.dispose r;
+
+  (* Simulated-cost introspection: what did that query do to the machine? *)
+  Tb_store.Database.cold_restart db;
+  let m = Tb_core.Measurement.run_cold db join ~label:"join, cold" in
+  Format.printf "@.cold-run profile: %a@." Tb_core.Measurement.pp m

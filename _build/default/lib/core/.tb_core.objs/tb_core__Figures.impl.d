@@ -1,0 +1,1 @@
+lib/core/figures.ml: Array Float Format List Measurement Option Paper_ref Printf Table_fmt Tb_derby Tb_oo7 Tb_query Tb_sim Tb_statdb Tb_store

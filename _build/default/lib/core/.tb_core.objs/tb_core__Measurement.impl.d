@@ -1,0 +1,1 @@
+lib/core/measurement.ml: Format Tb_query Tb_sim Tb_statdb Tb_store

@@ -1,0 +1,1 @@
+lib/core/measurement.mli: Format Tb_query Tb_statdb Tb_store

@@ -1,0 +1,31 @@
+(** The numbers published in the paper, as data.
+
+    Used to print paper-vs-measured tables and to check that the measured
+    *shape* (who wins, by roughly what factor) matches.  Times are seconds
+    on the authors' Sparc 20. *)
+
+(** Figure 7: sorted unclustered index vs no index, (selectivity%, sorted
+    index, no index). *)
+val fig7 : (int * float * float) list
+
+(** Figure 10: (algo, providers, fanout, sel_pat, sel_prov, table MB). *)
+val fig10 : (string * int * int * int * int * float) list
+
+(** Figures 11-14: per (sel_pat, sel_prov) cell, the four algorithm times.
+    Shapes: [`Wide] = 2,000 x 1,000, [`Deep] = 1,000,000 x 3. *)
+val join_cells :
+  [ `Wide | `Deep ] ->
+  [ `Class | `Composition ] ->
+  ((int * int) * (string * float) list) list
+
+(** Figure 15: per (shape, organization, sel_pat, sel_prov), the winning
+    algorithm and its time. *)
+val fig15 :
+  ([ `Wide | `Deep ] * [ `Random | `Class | `Composition ] * int * int * string * float)
+  list
+
+(** Section 4.2 anchors for the reconstructed Figure 6: full-scan times at
+    0.1% and 90% selectivity. *)
+val fig6_scan_lo : float
+
+val fig6_scan_hi : float

@@ -1,0 +1,78 @@
+let secs s = Printf.sprintf "%.2f" s
+
+let render ~title ~header rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Table_fmt.render: row arity")
+    rows;
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width col =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row col))) 0 all
+  in
+  let widths = List.init ncols width in
+  let line row =
+    String.concat "  "
+      (List.map2 (fun w cell -> Printf.sprintf "%-*s" w cell) widths row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf sep;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let ranked ~title ?paper ((sel_pat, sel_prov), cells) () =
+  let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) cells in
+  let best = match sorted with (_, t) :: _ -> t | [] -> 1.0 in
+  let paper_rank =
+    match paper with
+    | Some (_, cells) ->
+        List.map fst (List.sort (fun (_, a) (_, b) -> Float.compare a b) cells)
+    | None -> []
+  in
+  let rows =
+    List.mapi
+      (fun i (name, t) ->
+        let paper_col =
+          match paper with
+          | Some (_, cells) -> (
+              let pos =
+                match List.find_index (String.equal name) paper_rank with
+                | Some k -> k + 1
+                | None -> 0
+              in
+              match List.assoc_opt name cells with
+              | Some pt -> Printf.sprintf "%s (#%d)" (secs pt) pos
+              | None -> "-")
+          | None -> ""
+        in
+        let base =
+          [
+            (if i = 0 then "->" else "  ");
+            name;
+            Printf.sprintf "%.2f" (t /. best);
+            secs t;
+          ]
+        in
+        if paper = None then base else base @ [ paper_col ])
+      sorted
+  in
+  let header =
+    [ ""; "Algorithm"; "Time ratio"; "Time (sec)" ]
+    @ if paper = None then [] else [ "Paper (sec, rank)" ]
+  in
+  render
+    ~title:(Printf.sprintf "%s   [sel. patients %d%%, sel. providers %d%%]" title sel_pat sel_prov)
+    ~header rows

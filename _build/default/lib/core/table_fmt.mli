@@ -1,0 +1,19 @@
+(** Plain-text tables in the paper's style. *)
+
+(** [render ~title ~header rows] — column widths auto-fit; every row must
+    have the header's arity (checked). *)
+val render : title:string -> header:string list -> string list list -> string
+
+(** [ranked ~title cells] renders a Figure-11-style table: one block per
+    (selectivity-pair) cell, algorithms sorted by time, with the time ratio
+    against the winner — optionally annotated with the paper's own ranking
+    for the same cell. *)
+val ranked :
+  title:string ->
+  ?paper:(int * int) * (string * float) list ->
+  (int * int) * (string * float) list ->
+  unit ->
+  string
+
+(** Seconds with the paper's two decimals. *)
+val secs : float -> string

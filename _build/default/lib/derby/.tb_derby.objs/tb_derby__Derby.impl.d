@@ -1,0 +1,1 @@
+lib/derby/derby.ml: Printf Tb_store

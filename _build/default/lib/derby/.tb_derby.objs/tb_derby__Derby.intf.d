@@ -1,0 +1,1 @@
+lib/derby/derby.mli: Tb_store

@@ -1,0 +1,1 @@
+lib/derby/generator.ml: Array Derby List Tb_query Tb_sim Tb_storage Tb_store

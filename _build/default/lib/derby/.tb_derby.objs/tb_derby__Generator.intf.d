@@ -1,0 +1,1 @@
+lib/derby/generator.mli: Tb_query Tb_sim Tb_storage Tb_store

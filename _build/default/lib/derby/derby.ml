@@ -1,0 +1,68 @@
+module Schema = Tb_store.Schema
+module Value = Tb_store.Value
+
+let provider_cls = "Provider"
+let patient_cls = "Patient"
+let providers_extent = "Providers"
+let patients_extent = "Patients"
+
+let schema =
+  Schema.make
+    ~classes:
+      [
+        {
+          Schema.cls_name = provider_cls;
+          attrs =
+            [
+              ("name", Schema.TString);
+              ("upin", Schema.TInt);
+              ("address", Schema.TString);
+              ("specialty", Schema.TString);
+              ("office", Schema.TString);
+              ("clients", Schema.TSet (Schema.TRef patient_cls));
+            ];
+        };
+        {
+          Schema.cls_name = patient_cls;
+          attrs =
+            [
+              ("name", Schema.TString);
+              ("mrn", Schema.TInt);
+              ("age", Schema.TInt);
+              ("sex", Schema.TChar);
+              ("random_integer", Schema.TInt);
+              ("num", Schema.TInt);
+              ("primary_care_provider", Schema.TRef provider_cls);
+            ];
+        };
+      ]
+    ~roots:
+      [
+        (providers_extent, Schema.TSet (Schema.TRef provider_cls));
+        (patients_extent, Schema.TSet (Schema.TRef patient_cls));
+      ]
+
+let pad16 n = Printf.sprintf "%016d" n
+
+let provider_value ~upin ~clients =
+  Value.Tuple
+    [
+      ("name", Value.String (pad16 upin));
+      ("upin", Value.Int upin);
+      ("address", Value.String (pad16 (upin * 7)));
+      ("specialty", Value.String (pad16 (upin mod 40)));
+      ("office", Value.String (pad16 (upin mod 100)));
+      ("clients", clients);
+    ]
+
+let patient_value ~mrn ~age ~sex ~random_integer ~num ~pcp =
+  Value.Tuple
+    [
+      ("name", Value.String (pad16 mrn));
+      ("mrn", Value.Int mrn);
+      ("age", Value.Int age);
+      ("sex", Value.Char sex);
+      ("random_integer", Value.Int random_integer);
+      ("num", Value.Int num);
+      ("primary_care_provider", pcp);
+    ]

@@ -1,0 +1,238 @@
+module Value = Tb_store.Value
+module Database = Tb_store.Database
+module Transaction = Tb_store.Transaction
+module Rid = Tb_storage.Rid
+module Rng = Tb_sim.Rng
+
+type organization = Class_clustered | Randomized | Composition | Assoc_ordered
+
+type config = {
+  n_providers : int;
+  fanout : int;
+  organization : organization;
+  seed : int;
+  handle_kind : Tb_sim.Cost_model.handle_kind;
+  server_pages : int;
+  client_pages : int;
+  txn_mode : Tb_store.Transaction.mode;
+  commit_every : int;
+  indexed_creation : bool;
+  build_num_index : bool;
+}
+
+let config ~scale shape organization =
+  if scale <= 0 then invalid_arg "Generator.config: scale";
+  let n_providers, fanout =
+    match shape with
+    | `Wide -> (max 2 (2_000 / scale), 1_000)
+    | `Deep -> (max 2 (1_000_000 / scale), 3)
+  in
+  let page = Tb_sim.Cost_model.default.Tb_sim.Cost_model.page_size in
+  {
+    n_providers;
+    fanout;
+    organization;
+    seed = 1997;
+    handle_kind = Tb_sim.Cost_model.Fat;
+    (* 4 MB server cache, 32 MB client cache, scaled with the data. *)
+    server_pages = max 4 (4 * 1024 * 1024 / page / scale);
+    client_pages = max 8 (32 * 1024 * 1024 / page / scale);
+    txn_mode = Transaction.Load_off;
+    commit_every = 10_000;
+    indexed_creation = true;
+    build_num_index = true;
+  }
+
+type built = {
+  db : Database.t;
+  cfg : config;
+  cost : Tb_sim.Cost_model.t;
+  providers : Rid.t array;
+  patients : Rid.t array;
+  upin_index : Tb_store.Index_def.t;
+  mrn_index : Tb_store.Index_def.t;
+  num_index : Tb_store.Index_def.t option;
+  load_seconds : float;
+}
+
+let estimate_organization cfg =
+  match cfg.organization with
+  | Class_clustered -> Tb_query.Estimate.Separate_files
+  | Randomized -> Tb_query.Estimate.Shared_random
+  | Composition -> Tb_query.Estimate.Shared_composition
+  | Assoc_ordered -> Tb_query.Estimate.Assoc_clustered
+
+(* Assignment of patients to providers: each provider gets exactly [fanout]
+   patients, but which patients (hence the clients orderings and the
+   provider seen by consecutive patients) is a deterministic shuffle — the
+   randomized relationship of Section 2. *)
+let assignment rng ~n_providers ~fanout =
+  let n_patients = n_providers * fanout in
+  let provider_of = Array.init n_patients (fun j -> j / fanout) in
+  Rng.shuffle rng provider_of;
+  let children = Array.make n_providers [] in
+  for j = n_patients - 1 downto 0 do
+    children.(provider_of.(j)) <- j :: children.(provider_of.(j))
+  done;
+  (* Shuffle each clients list: the relationship is randomized in *both*
+     directions, so composition blocks are not ordered by mrn (otherwise a
+     selective mrn range would artificially touch only block prefixes). *)
+  let children =
+    Array.map
+      (fun js ->
+        let arr = Array.of_list js in
+        Rng.shuffle rng arr;
+        Array.to_list arr)
+      children
+  in
+  (provider_of, children)
+
+let build ?(cost = Tb_sim.Cost_model.default) cfg =
+  let sim = Tb_sim.Sim.create ~seed:cfg.seed cost in
+  let rng = sim.Tb_sim.Sim.rng in
+  let db =
+    (* The pool of not-yet-destroyed Handles scales with client memory,
+       like everything else on the simulated machine. *)
+    Database.create sim ~schema:Derby.schema ~server_pages:cfg.server_pages
+      ~client_pages:cfg.client_pages ~handle_kind:cfg.handle_kind
+      ~txn_mode:cfg.txn_mode
+      ~zombie_limit:(max 64 cfg.client_pages) ()
+  in
+  let np = cfg.n_providers in
+  let nc = np * cfg.fanout in
+  let provider_of, children = assignment rng ~n_providers:np ~fanout:cfg.fanout in
+  let num_key = Rng.permutation rng nc in
+  let ages = Array.init nc (fun _ -> Rng.int rng 100) in
+  (* Files per organization. *)
+  (match cfg.organization with
+  | Class_clustered | Assoc_ordered ->
+      Database.bind_class db ~cls:Derby.provider_cls
+        (Database.new_file db ~name:"providers");
+      Database.bind_class db ~cls:Derby.patient_cls
+        (Database.new_file db ~name:"patients")
+  | Randomized | Composition ->
+      let shared = Database.new_file db ~name:"objects" in
+      Database.bind_class db ~cls:Derby.provider_cls shared;
+      Database.bind_class db ~cls:Derby.patient_cls shared);
+  let providers = Array.make np Rid.nil in
+  let patients = Array.make nc Rid.nil in
+  let created = ref 0 in
+  let maybe_commit () =
+    incr created;
+    if
+      cfg.txn_mode = Transaction.Standard
+      && !created mod cfg.commit_every = 0
+    then Database.commit db
+  in
+  (* The clients attribute is created pre-sized: an inline set of nil
+     references when it will stay inline, an empty set when it will spill
+     (the Big_set reference that replaces it has a fixed 9-byte encoding),
+     so the later association update never relocates providers. *)
+  let clients_placeholder =
+    let inline = Value.Set (List.init cfg.fanout (fun _ -> Value.Ref Rid.nil)) in
+    if Tb_store.Codec.encoded_size inline > Tb_store.Big_collection.spill_threshold
+    then Value.Set []
+    else inline
+  in
+  let create_provider i =
+    providers.(i) <-
+      Database.insert_object db ~cls:Derby.provider_cls
+        ~indexed:cfg.indexed_creation
+        (Derby.provider_value ~upin:i ~clients:clients_placeholder);
+    maybe_commit ()
+  in
+  let create_patient ?pcp j =
+    let pcp =
+      match pcp with Some rid -> Value.Ref rid | None -> Value.Ref Rid.nil
+    in
+    patients.(j) <-
+      Database.insert_object db ~cls:Derby.patient_cls
+        ~indexed:cfg.indexed_creation
+        (Derby.patient_value ~mrn:j ~age:ages.(j)
+           ~sex:(if j land 1 = 0 then 'F' else 'M')
+           ~random_integer:(1 + Rng.int rng np)
+           ~num:num_key.(j) ~pcp);
+    maybe_commit ()
+  in
+  let set_clients i =
+    let refs = List.map (fun j -> Value.Ref patients.(j)) children.(i) in
+    let header, value = Database.read_object db providers.(i) in
+    ignore header;
+    Database.update_object db providers.(i)
+      (Value.set_field value "clients" (Value.Set refs));
+    maybe_commit ()
+  in
+  let set_pcp j =
+    let _, value = Database.read_object db patients.(j) in
+    Database.update_object db patients.(j)
+      (Value.set_field value "primary_care_provider"
+         (Value.Ref providers.(provider_of.(j))));
+    maybe_commit ()
+  in
+  (match cfg.organization with
+  | Class_clustered ->
+      for i = 0 to np - 1 do
+        create_provider i
+      done;
+      for j = 0 to nc - 1 do
+        create_patient ~pcp:providers.(provider_of.(j)) j
+      done;
+      for i = 0 to np - 1 do
+        set_clients i
+      done
+  | Randomized ->
+      (* Interleave both classes in one shuffled creation order, then fix
+         the references up. *)
+      let order = Array.init (np + nc) (fun k -> k) in
+      Rng.shuffle rng order;
+      Array.iter
+        (fun k -> if k < np then create_provider k else create_patient (k - np))
+        order;
+      for j = 0 to nc - 1 do
+        set_pcp j
+      done;
+      for i = 0 to np - 1 do
+        set_clients i
+      done
+  | Composition ->
+      for i = 0 to np - 1 do
+        create_provider i;
+        List.iter (fun j -> create_patient ~pcp:providers.(i) j) children.(i);
+        set_clients i
+      done
+  | Assoc_ordered ->
+      for i = 0 to np - 1 do
+        create_provider i
+      done;
+      for i = 0 to np - 1 do
+        List.iter (fun j -> create_patient ~pcp:providers.(i) j) children.(i)
+      done;
+      for i = 0 to np - 1 do
+        set_clients i
+      done);
+  let upin_index =
+    Database.create_index db ~name:"upin" ~cls:Derby.provider_cls ~attr:"upin"
+  in
+  let mrn_index =
+    Database.create_index db ~name:"mrn" ~cls:Derby.patient_cls ~attr:"mrn"
+  in
+  let num_index =
+    if cfg.build_num_index then
+      Some (Database.create_index db ~name:"num" ~cls:Derby.patient_cls ~attr:"num")
+    else None
+  in
+  Database.commit db;
+  let load_seconds = Tb_sim.Sim.elapsed_s sim in
+  Database.cold_restart db;
+  Tb_sim.Sim.reset sim;
+  {
+    db;
+    cfg;
+    cost;
+    providers;
+    patients;
+    upin_index;
+    mrn_index;
+    num_index;
+    load_seconds;
+  }

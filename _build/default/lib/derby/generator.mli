@@ -1,0 +1,65 @@
+(** Database generation: the two shapes and four physical organizations.
+
+    Shapes (Section 2): [`Wide] is 2,000 providers with 1,000 patients each
+    (clients sets spill to a separate file); [`Deep] is 1,000,000 providers
+    with 3 patients each (clients inline).  A [scale] divisor shrinks the
+    provider count while {!Tb_sim.Cost_model.scaled} shrinks memory by the
+    same factor, preserving every capacity ratio.
+
+    Organizations (Figure 2):
+    - [Class_clustered]: one file per class;
+    - [Randomized]: both classes interleaved randomly in one file;
+    - [Composition]: each provider physically followed by its patients;
+    - [Assoc_ordered]: the alternative the paper suggests in Section 5.3 —
+      separate files, but patients ordered by their provider association.
+
+    The doctor/patient relationship is randomized (patients are assigned
+    providers by a shuffled assignment, as the paper did with lrand48), and
+    key attributes are *logical*: [upin] and [mrn] follow logical creation
+    order, [num] is a random permutation.  Hence the mrn index is
+    physically clustered under class clustering but not under composition —
+    the asymmetry behind Figures 11-14. *)
+
+type organization = Class_clustered | Randomized | Composition | Assoc_ordered
+
+type config = {
+  n_providers : int;
+  fanout : int;
+  organization : organization;
+  seed : int;
+  handle_kind : Tb_sim.Cost_model.handle_kind;
+  server_pages : int;
+  client_pages : int;
+  txn_mode : Tb_store.Transaction.mode;
+  commit_every : int;  (** objects per commit under [Standard] *)
+  indexed_creation : bool;
+      (** create objects with index-slot headers (avoids the Section 3.2
+          reallocation) *)
+  build_num_index : bool;  (** the unclustered index of Figures 6-7 *)
+}
+
+(** [config ~scale shape organization] is the paper's configuration for
+    [shape] at [1/scale] size, with the tuned loading setup (transaction-off
+    mode, 4 MB server / 32 MB client caches scaled, indexed creation). *)
+val config : scale:int -> [ `Wide | `Deep ] -> organization -> config
+
+type built = {
+  db : Tb_store.Database.t;
+  cfg : config;
+  cost : Tb_sim.Cost_model.t;
+  providers : Tb_storage.Rid.t array;  (** by logical id (= upin) *)
+  patients : Tb_storage.Rid.t array;  (** by logical id (= mrn) *)
+  upin_index : Tb_store.Index_def.t;
+  mrn_index : Tb_store.Index_def.t;
+  num_index : Tb_store.Index_def.t option;
+  load_seconds : float;  (** simulated time the load took *)
+}
+
+(** [build ?cost cfg] creates the database from scratch and returns it cold
+    (caches cleared, clock reset).  [cost] defaults to
+    [Cost_model.scaled 1]. *)
+val build : ?cost:Tb_sim.Cost_model.t -> config -> built
+
+(** [estimate_organization cfg] maps the generator's organization onto the
+    planner's coarser view. *)
+val estimate_organization : config -> Tb_query.Estimate.organization

@@ -1,0 +1,1 @@
+lib/oo7/oo7.ml: Array Hashtbl List Printf Tb_query Tb_sim Tb_storage Tb_store

@@ -1,0 +1,1 @@
+lib/oo7/oo7.mli: Tb_sim Tb_storage Tb_store

@@ -1,0 +1,1 @@
+lib/query/estimate.ml: Float List Mem_hash Plan Tb_sim

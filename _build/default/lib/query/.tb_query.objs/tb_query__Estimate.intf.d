@@ -1,0 +1,1 @@
+lib/query/estimate.mli: Plan Tb_sim

@@ -1,0 +1,1 @@
+lib/query/exec.ml: Array List Mem_hash Oql_ast Plan Printf Query_result String Tb_sim Tb_storage Tb_store

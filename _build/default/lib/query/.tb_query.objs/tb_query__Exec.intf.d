@@ -1,0 +1,1 @@
+lib/query/exec.mli: Plan Query_result Tb_store

@@ -1,0 +1,1 @@
+lib/query/mem_hash.ml: Hashtbl List Tb_sim Tb_storage

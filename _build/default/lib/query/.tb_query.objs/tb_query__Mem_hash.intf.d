@@ -1,0 +1,1 @@
+lib/query/mem_hash.mli: Tb_sim Tb_storage

@@ -1,0 +1,1 @@
+lib/query/oql_ast.ml: Bool Char Float Format Int String Tb_storage Tb_store

@@ -1,0 +1,1 @@
+lib/query/oql_ast.mli: Format Tb_store

@@ -1,0 +1,1 @@
+lib/query/oql_lexer.mli: Format

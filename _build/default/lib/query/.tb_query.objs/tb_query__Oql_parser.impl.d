@@ -1,0 +1,1 @@
+lib/query/oql_parser.ml: Format List Oql_ast Oql_lexer String

@@ -1,0 +1,1 @@
+lib/query/oql_parser.mli: Oql_ast

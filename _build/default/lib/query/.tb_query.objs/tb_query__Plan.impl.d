@@ -1,0 +1,1 @@
+lib/query/plan.ml: Format List Oql_ast Printf String Tb_store

@@ -1,0 +1,1 @@
+lib/query/plan.mli: Format Oql_ast Tb_store

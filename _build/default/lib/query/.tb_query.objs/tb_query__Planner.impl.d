@@ -1,0 +1,1 @@
+lib/query/planner.ml: Estimate Exec Float List Mem_hash Oql_ast Oql_parser Plan Tb_sim Tb_storage Tb_store

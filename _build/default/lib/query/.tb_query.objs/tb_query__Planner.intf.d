@@ -1,0 +1,1 @@
+lib/query/planner.mli: Estimate Oql_ast Plan Query_result Tb_store

@@ -1,0 +1,1 @@
+lib/query/query_result.ml: List Oql_ast String Tb_sim Tb_store

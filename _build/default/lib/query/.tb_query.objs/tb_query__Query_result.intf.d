@@ -1,0 +1,1 @@
+lib/query/query_result.mli: Oql_ast Tb_sim Tb_store

@@ -1,0 +1,61 @@
+(** Cost formulas for the optimizer.
+
+    The project the paper set out on — "what statistics the system should
+    maintain and how to incorporate them into a cost model" — distilled into
+    closed-form estimates of the event counts the simulator charges: page
+    reads (sequential vs random through an LRU cache), Handle pairs, hash
+    traffic, Rid sorts, result construction and swap thrash.  The cost-based
+    planner ranks access paths and the four join algorithms with these. *)
+
+type organization =
+  | Separate_files  (** one file per class (Figure 2 left) *)
+  | Shared_random  (** everything in one file, randomly (Figure 2 middle) *)
+  | Shared_composition
+      (** children clustered behind their parent (Figure 2 right) *)
+  | Assoc_clustered
+      (** Section 5.3's alternative: separate files, children stored in
+          parent-association order *)
+
+(** One side of a query: an extent with a selectivity already folded in. *)
+type side = {
+  card : int;  (** extent cardinality *)
+  pages : int;  (** pages of the file holding the extent *)
+  sel : float;  (** fraction surviving this side's predicates *)
+  has_index : bool;  (** a usable index covers the predicate window *)
+  index_clustered : bool;
+  payload_bytes : int;  (** bytes of this side stowed per hash entry *)
+}
+
+type env = {
+  cost : Tb_sim.Cost_model.t;
+  organization : organization;
+  client_cache_pages : int;
+  parent : side;
+  child : side;
+  fanout : float;  (** average children per parent *)
+  result_bytes_per_row : int;
+}
+
+(** Expected distinct pages touched when [n] uniform references hit a
+    [pages]-page file. *)
+val distinct_pages : n:float -> pages:float -> float
+
+(** Cost (ms) of [n] random record fetches against a [pages]-page file
+    behind an LRU cache of [cache] pages, cold start. *)
+val random_fetch_ms : cost:Tb_sim.Cost_model.t -> n:float -> pages:float -> cache:float -> float
+
+(** {2 Selections} *)
+
+val selection_seq_ms : env -> float
+val selection_index_ms : env -> sorted:bool -> float
+
+(** {2 Joins} — cost (ms) of each Section 5.1 algorithm. *)
+
+val join_ms : env -> Plan.join_algo -> float
+
+(** Every join algorithm, in a fixed order. *)
+val all_algos : Plan.join_algo list
+
+(** All algorithms ranked, best first (ties keep [all_algos] order, so the
+    paper's four originals win ties against the extensions). *)
+val rank_joins : env -> (Plan.join_algo * float) list

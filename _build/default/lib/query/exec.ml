@@ -1,0 +1,540 @@
+module Value = Tb_store.Value
+module Database = Tb_store.Database
+module Handle = Tb_store.Handle
+module Btree = Tb_store.Btree
+module Rid = Tb_storage.Rid
+module Sim = Tb_sim.Sim
+
+(* A join side is visible either as a live Handle or as information stowed
+   in a hash table: "We always store in the hash tables the elements needed
+   to construct f(p, pa)" (Section 5). *)
+type source = Live of Handle.t | Stored of payload
+and payload = { self : Rid.t; attrs : (string * Value.t) list }
+
+let payload_bytes p =
+  List.fold_left
+    (fun acc (_, v) -> acc + 4 + Tb_store.Codec.encoded_size v)
+    Rid.on_disk_bytes p.attrs
+
+(* Harvest exactly the attributes [select] needs from a live Handle. *)
+let make_payload db h ~needed =
+  let attrs, _self = needed in
+  { self = h.Handle.rid; attrs = List.map (fun a -> (a, Database.get_att db h a)) attrs }
+
+let eval_select db select ~lookup =
+  let rec ev = function
+    | Oql_ast.Const lit -> Oql_ast.literal_to_value lit
+    | Oql_ast.Var v -> (
+        match lookup v with
+        | Live h -> Value.Ref h.Handle.rid
+        | Stored p -> Value.Ref p.self)
+    | Oql_ast.Path (v, attr) -> (
+        match lookup v with
+        | Live h -> Database.get_att db h attr
+        | Stored p -> (
+            match List.assoc_opt attr p.attrs with
+            | Some x -> x
+            | None -> invalid_arg ("Exec: attribute " ^ attr ^ " not stowed")))
+    | Oql_ast.Mk_tuple fields -> Value.Tuple (List.map (fun (n, e) -> (n, ev e)) fields)
+  in
+  ev select
+
+let eval_preds db h preds =
+  List.for_all
+    (fun { Plan.attr; cmp; const } ->
+      Sim.charge_compare (Database.sim db) 1;
+      Oql_ast.eval_cmp cmp (Database.get_att db h attr) const)
+    preds
+
+(* Iterate the Rids an access path yields, in its natural order. Residual
+   predicates are NOT applied here — the caller owns Handle traffic. *)
+let iter_access db access f =
+  match access with
+  | Plan.Seq_scan { cls; _ } -> Database.scan_extent db ~cls f
+  | Plan.Index_scan { index; lo; hi; sorted; _ } ->
+      let tree = index.Tb_store.Index_def.tree in
+      if not sorted then Btree.range tree ?lo ?hi (fun _ rid -> f rid)
+      else begin
+        (* Figure 8 right: collect the matching Rids, sort them so the
+           fetches become (at worst) one sequential sweep. *)
+        let sim = Database.sim db in
+        let rids = ref [] in
+        let n = ref 0 in
+        Btree.range tree ?lo ?hi (fun _ rid ->
+            rids := rid :: !rids;
+            incr n);
+        let claim = !n * Rid.on_disk_bytes in
+        Sim.claim_bytes sim claim;
+        Sim.charge_sort sim !n;
+        let arr = Array.of_list !rids in
+        Array.sort Rid.compare arr;
+        Array.iter f arr;
+        Sim.release_bytes sim claim
+      end
+
+let access_preds = function
+  | Plan.Seq_scan { preds; _ } -> preds
+  | Plan.Index_scan { residual; _ } -> residual
+
+(* Whether a side must be materialized at all: an index-covered side whose
+   predicates are fully absorbed and that contributes only its identity to
+   the result can skip Handles entirely (Section 5's remark that navigation
+   needs not read patients when returning objects). *)
+let needs_handle ~residual ~needed =
+  let attrs, _ = needed in
+  residual <> [] || attrs <> []
+
+(* --- Selection (Figure 8) --- *)
+
+let run_selection db ~keep ~var ~access ~select ~aggregate =
+  let sim = Database.sim db in
+  let result = Query_result.create ?aggregate sim ~keep in
+  let preds = access_preds access in
+  let needed = Plan.needed_attrs var select in
+  let lookup h v =
+    if String.equal v var then Live h else invalid_arg ("Exec: unknown var " ^ v)
+  in
+  iter_access db access (fun rid ->
+      if needs_handle ~residual:preds ~needed then begin
+        let h = Database.acquire db rid in
+        if eval_preds db h preds then
+          Query_result.append result (eval_select db select ~lookup:(lookup h));
+        Database.unref db h
+      end
+      else begin
+        (* Identity-only projection under a covering index: no Handle. *)
+        let stored v =
+          if String.equal v var then Stored { self = rid; attrs = [] }
+          else invalid_arg ("Exec: unknown var " ^ v)
+        in
+        Query_result.append result (eval_select db select ~lookup:stored)
+      end);
+  result
+
+(* --- The four join algorithms (Section 5.1) --- *)
+
+let require_inv = function
+  | Some attr -> attr
+  | None ->
+      raise
+        (Plan.Unsupported
+           "this algorithm navigates child-to-parent but the schema declares \
+            no inverse reference")
+
+(* Parent-to-child navigation. Only the parent access path may use an
+   index; children are reached through the parent's collection. *)
+let run_nl db ~keep ~parent_var ~child_var ~set_attr ~parent_access
+    ~child_preds ~select ~aggregate =
+  let sim = Database.sim db in
+  let result = Query_result.create ?aggregate sim ~keep in
+  let p_preds = access_preds parent_access in
+  let lookup ph ch v =
+    if String.equal v parent_var then Live ph
+    else if String.equal v child_var then Live ch
+    else invalid_arg ("Exec: unknown var " ^ v)
+  in
+  iter_access db parent_access (fun prid ->
+      let ph = Database.acquire db prid in
+      if eval_preds db ph p_preds then begin
+        let clients = Database.get_att db ph set_attr in
+        Database.iter_set db clients (fun elt ->
+            match elt with
+            | Value.Ref crid ->
+                let ch = Database.acquire db crid in
+                if eval_preds db ch child_preds then
+                  Query_result.append result
+                    (eval_select db select ~lookup:(lookup ph ch));
+                Database.unref db ch
+            | Value.Nil -> ()
+            | _ -> invalid_arg "Exec: collection element is not a reference")
+      end;
+      Database.unref db ph);
+  result
+
+(* Child-to-parent navigation: "the join is hidden within the navigation
+   pattern".  Only the child access path may use an index; the parent
+   condition is tested once per child. *)
+let run_nojoin db ~keep ~parent_var ~child_var ~inv_attr ~parent_preds
+    ~child_access ~select ~aggregate =
+  let sim = Database.sim db in
+  let result = Query_result.create ?aggregate sim ~keep in
+  let c_preds = access_preds child_access in
+  let inv = require_inv inv_attr in
+  let lookup ph ch v =
+    if String.equal v parent_var then Live ph
+    else if String.equal v child_var then Live ch
+    else invalid_arg ("Exec: unknown var " ^ v)
+  in
+  iter_access db child_access (fun crid ->
+      let ch = Database.acquire db crid in
+      if eval_preds db ch c_preds then begin
+        match Database.get_att db ch inv with
+        | Value.Ref prid ->
+            let ph = Database.acquire db prid in
+            if eval_preds db ph parent_preds then
+              Query_result.append result
+                (eval_select db select ~lookup:(lookup ph ch));
+            Database.unref db ph
+        | Value.Nil -> ()
+        | _ -> invalid_arg "Exec: inverse attribute is not a reference"
+      end;
+      Database.unref db ch);
+  result
+
+(* Hash the parents, probe with the children. Both access paths may use
+   indexes and both collections are read sequentially. *)
+let run_phj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
+    ~child_access ~select ~aggregate =
+  let sim = Database.sim db in
+  let result = Query_result.create ?aggregate sim ~keep in
+  let p_preds = access_preds parent_access in
+  let c_preds = access_preds child_access in
+  let inv = require_inv inv_attr in
+  let needed_p = Plan.needed_attrs parent_var select in
+  let table : payload Mem_hash.t = Mem_hash.create sim in
+  iter_access db parent_access (fun prid ->
+      let ph = Database.acquire db prid in
+      if eval_preds db ph p_preds then begin
+        let payload = make_payload db ph ~needed:needed_p in
+        Mem_hash.add table ~key:prid ~payload_bytes:(payload_bytes payload) payload
+      end;
+      Database.unref db ph);
+  let lookup pp ch v =
+    if String.equal v parent_var then Stored pp
+    else if String.equal v child_var then Live ch
+    else invalid_arg ("Exec: unknown var " ^ v)
+  in
+  iter_access db child_access (fun crid ->
+      let ch = Database.acquire db crid in
+      if eval_preds db ch c_preds then begin
+        match Database.get_att db ch inv with
+        | Value.Ref prid ->
+            List.iter
+              (fun pp ->
+                Query_result.append result
+                  (eval_select db select ~lookup:(lookup pp ch)))
+              (Mem_hash.find table ~key:prid)
+        | Value.Nil -> ()
+        | _ -> invalid_arg "Exec: inverse attribute is not a reference"
+      end;
+      Database.unref db ch);
+  Mem_hash.dispose table;
+  result
+
+(* Hash the children by their parent reference, probe with the parents.
+   The paper's variation of the pointer-based join: because the table is
+   keyed by parent identity, the provider collection is scanned
+   sequentially instead of being fetched in hash order. *)
+let run_chj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
+    ~child_access ~select ~aggregate =
+  let sim = Database.sim db in
+  let result = Query_result.create ?aggregate sim ~keep in
+  let p_preds = access_preds parent_access in
+  let c_preds = access_preds child_access in
+  let inv = require_inv inv_attr in
+  let needed_c = Plan.needed_attrs child_var select in
+  let table : payload Mem_hash.t = Mem_hash.create sim in
+  iter_access db child_access (fun crid ->
+      let ch = Database.acquire db crid in
+      if eval_preds db ch c_preds then begin
+        match Database.get_att db ch inv with
+        | Value.Ref prid ->
+            let payload = make_payload db ch ~needed:needed_c in
+            Mem_hash.add table ~key:prid
+              ~payload_bytes:(payload_bytes payload)
+              payload
+        | Value.Nil -> ()
+        | _ -> invalid_arg "Exec: inverse attribute is not a reference"
+      end;
+      Database.unref db ch);
+  let lookup ph cp v =
+    if String.equal v parent_var then Live ph
+    else if String.equal v child_var then Stored cp
+    else invalid_arg ("Exec: unknown var " ^ v)
+  in
+  iter_access db parent_access (fun prid ->
+      let ph = Database.acquire db prid in
+      if eval_preds db ph p_preds then
+        List.iter
+          (fun cp ->
+            Query_result.append result (eval_select db select ~lookup:(lookup ph cp)))
+          (Mem_hash.find table ~key:prid);
+      Database.unref db ph);
+  Mem_hash.dispose table;
+  result
+
+(* --- spilled partitions (hybrid hashing, DeWitt/Katz/Olken-style) --- *)
+
+(* A spilled payload travels as an encoded tuple whose first field is the
+   join key. *)
+let spill_record ~key payload =
+  Tb_store.Codec.encode
+    (Value.Tuple
+       (("@key", Value.Ref key)
+       :: ("@self", Value.Ref payload.self)
+       :: payload.attrs))
+
+let unspill_record body =
+  match Tb_store.Codec.decode_exn body with
+  | Value.Tuple (("@key", Value.Ref key) :: ("@self", Value.Ref self) :: attrs)
+    ->
+      (key, { self; attrs })
+  | _ -> invalid_arg "Exec: corrupt spill record"
+
+let spill_counter = ref 0
+
+let new_spill_file db =
+  incr spill_counter;
+  Tb_storage.Heap_file.create
+    (Database.stack db)
+    ~name:(Printf.sprintf "__spill_%d" !spill_counter)
+
+(* Hybrid hash join.  The build side is split into [partitions] buckets by
+   key hash: bucket 0 is joined in memory on the fly, the others are
+   written to temporary files on both sides and joined bucket by bucket.
+   Disk traffic replaces the swap thrash of the in-memory algorithms: the
+   fix the paper points at ("the need for hybrid hashing") but never
+   measured. *)
+let run_hybrid db ~keep ~aggregate ~build:(build_access, build_key, build_needed)
+    ~probe:(probe_access, probe_key, probe_needed) ~partitions ~emit =
+  let sim = Database.sim db in
+  let result = Query_result.create ?aggregate sim ~keep in
+  let partitions = max 1 partitions in
+  let bucket key = Rid.hash key mod partitions in
+  let table : payload Mem_hash.t = Mem_hash.create sim in
+  let build_spill = Array.init (max 0 (partitions - 1)) (fun _ -> new_spill_file db) in
+  let probe_spill = Array.init (max 0 (partitions - 1)) (fun _ -> new_spill_file db) in
+  let build_preds = access_preds build_access in
+  let probe_preds = access_preds probe_access in
+  (* Build pass. *)
+  iter_access db build_access (fun rid ->
+      let h = Database.acquire db rid in
+      if eval_preds db h build_preds then begin
+        match build_key h with
+        | Some key ->
+            let payload = make_payload db h ~needed:build_needed in
+            if bucket key = 0 then
+              Mem_hash.add table ~key ~payload_bytes:(payload_bytes payload)
+                payload
+            else
+              ignore
+                (Tb_storage.Heap_file.insert
+                   build_spill.(bucket key - 1)
+                   (spill_record ~key payload))
+        | None -> ()
+      end;
+      Database.unref db h);
+  (* Probe pass: bucket 0 joins immediately, the rest spill. *)
+  iter_access db probe_access (fun rid ->
+      let h = Database.acquire db rid in
+      if eval_preds db h probe_preds then begin
+        match probe_key h with
+        | Some key ->
+            if bucket key = 0 then
+              List.iter
+                (fun bp -> emit result bp (make_payload db h ~needed:probe_needed))
+                (Mem_hash.find table ~key)
+            else
+              ignore
+                (Tb_storage.Heap_file.insert
+                   probe_spill.(bucket key - 1)
+                   (spill_record ~key (make_payload db h ~needed:probe_needed)))
+        | None -> ()
+      end;
+      Database.unref db h);
+  Mem_hash.dispose table;
+  (* Spilled buckets, one at a time: each fits memory by construction. *)
+  for b = 0 to partitions - 2 do
+    let table : payload Mem_hash.t = Mem_hash.create sim in
+    Tb_storage.Heap_file.scan build_spill.(b) (fun _ body ->
+        let key, payload = unspill_record body in
+        Mem_hash.add table ~key ~payload_bytes:(payload_bytes payload) payload);
+    Tb_storage.Heap_file.scan probe_spill.(b) (fun _ body ->
+        let key, payload = unspill_record body in
+        List.iter (fun bp -> emit result bp payload) (Mem_hash.find table ~key));
+    Mem_hash.dispose table
+  done;
+  result
+
+let key_of_inverse db inv h =
+  match Database.get_att db h inv with
+  | Value.Ref prid -> Some prid
+  | Value.Nil -> None
+  | _ -> invalid_arg "Exec: inverse attribute is not a reference"
+
+let run_phhj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
+    ~child_access ~partitions ~select ~aggregate =
+  let inv = require_inv inv_attr in
+  let needed_p = Plan.needed_attrs parent_var select in
+  let needed_c = Plan.needed_attrs child_var select in
+  let lookup pp cp v =
+    if String.equal v parent_var then Stored pp
+    else if String.equal v child_var then Stored cp
+    else invalid_arg ("Exec: unknown var " ^ v)
+  in
+  let emit result pp cp =
+    Query_result.append result (eval_select db select ~lookup:(lookup pp cp))
+  in
+  run_hybrid db ~keep ~aggregate
+    ~build:(parent_access, (fun h -> Some h.Handle.rid), needed_p)
+    ~probe:(child_access, key_of_inverse db inv, needed_c)
+    ~partitions ~emit
+
+let run_chhj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
+    ~child_access ~partitions ~select ~aggregate =
+  let inv = require_inv inv_attr in
+  let needed_p = Plan.needed_attrs parent_var select in
+  let needed_c = Plan.needed_attrs child_var select in
+  let lookup cp pp v =
+    if String.equal v parent_var then Stored pp
+    else if String.equal v child_var then Stored cp
+    else invalid_arg ("Exec: unknown var " ^ v)
+  in
+  let emit result cp pp =
+    Query_result.append result (eval_select db select ~lookup:(lookup cp pp))
+  in
+  run_hybrid db ~keep ~aggregate
+    ~build:(child_access, key_of_inverse db inv, needed_c)
+    ~probe:(parent_access, (fun h -> Some h.Handle.rid), needed_p)
+    ~partitions ~emit
+
+(* --- pointer-based sort-merge join --- *)
+
+(* External-sort accounting: [n log n] comparisons, plus write+read passes
+   when the run does not fit in memory. *)
+let charge_external_sort sim ~elems ~bytes =
+  Sim.charge_sort sim elems;
+  let avail = Tb_sim.Cost_model.available_bytes sim.Sim.cost in
+  if bytes > avail && avail > 0 then begin
+    let fan_in = 8.0 in
+    let passes =
+      int_of_float
+        (ceil (log (float_of_int bytes /. float_of_int avail) /. log fan_in))
+    in
+    let pages = (bytes / sim.Sim.cost.Tb_sim.Cost_model.page_size) + 1 in
+    for _ = 1 to max 1 passes * pages do
+      Sim.charge_disk_write sim;
+      Sim.charge_disk_read sim
+    done
+  end
+
+let run_smj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
+    ~child_access ~select ~aggregate =
+  let sim = Database.sim db in
+  let result = Query_result.create ?aggregate sim ~keep in
+  let inv = require_inv inv_attr in
+  let p_preds = access_preds parent_access in
+  let c_preds = access_preds child_access in
+  let needed_p = Plan.needed_attrs parent_var select in
+  let needed_c = Plan.needed_attrs child_var select in
+  let gather access preds key_of needed =
+    let acc = ref [] in
+    let bytes = ref 0 in
+    iter_access db access (fun rid ->
+        let h = Database.acquire db rid in
+        if eval_preds db h preds then begin
+          match key_of h with
+          | Some key ->
+              let payload = make_payload db h ~needed in
+              acc := (key, payload) :: !acc;
+              bytes := !bytes + payload_bytes payload
+        | None -> ()
+        end;
+        Database.unref db h);
+    Sim.claim_bytes sim !bytes;
+    let arr = Array.of_list !acc in
+    charge_external_sort sim ~elems:(Array.length arr) ~bytes:!bytes;
+    Array.sort (fun (a, _) (b, _) -> Rid.compare a b) arr;
+    (arr, !bytes)
+  in
+  let parents, p_bytes =
+    gather parent_access p_preds (fun h -> Some h.Handle.rid) needed_p
+  in
+  let children, c_bytes = gather child_access c_preds (key_of_inverse db inv) needed_c in
+  (* Runs that do not fit in memory together are streamed through disk once
+     more (write out, read back for the merge). *)
+  if Sim.excess_ratio sim > 0.0 then begin
+    let pages =
+      ((p_bytes + c_bytes) / sim.Sim.cost.Tb_sim.Cost_model.page_size) + 1
+    in
+    for _ = 1 to pages do
+      Sim.charge_disk_write sim;
+      Sim.charge_disk_read sim
+    done
+  end;
+  (* Merge: parents' keys are unique (their own rids). *)
+  let lookup pp cp v =
+    if String.equal v parent_var then Stored pp
+    else if String.equal v child_var then Stored cp
+    else invalid_arg ("Exec: unknown var " ^ v)
+  in
+  let np = Array.length parents and nc = Array.length children in
+  let i = ref 0 in
+  for j = 0 to nc - 1 do
+    let ckey, cp = children.(j) in
+    while !i < np && Rid.compare (fst parents.(!i)) ckey < 0 do
+      Sim.charge_compare sim 1;
+      incr i
+    done;
+    Sim.charge_compare sim 1;
+    if !i < np && Rid.equal (fst parents.(!i)) ckey then
+      Query_result.append result
+        (eval_select db select ~lookup:(lookup (snd parents.(!i)) cp))
+  done;
+  Sim.release_bytes sim (p_bytes + c_bytes);
+  result
+
+let run db plan ~keep =
+  match plan with
+  | Plan.Selection { var; access; select; aggregate; _ } ->
+      run_selection db ~keep ~var ~access ~select ~aggregate
+  | Plan.Hier_join
+      {
+        algo;
+        parent_var;
+        child_var;
+        set_attr;
+        inv_attr;
+        parent_access;
+        child_access;
+        partitions;
+        select;
+        aggregate;
+        _;
+      } -> (
+      match algo with
+      | Plan.NL ->
+          (* NL cannot use the child index: fold the child side's window
+             and residual back into plain predicates. *)
+          let child_preds =
+            match child_access with
+            | Plan.Seq_scan { preds; _ } -> preds
+            | Plan.Index_scan _ ->
+                invalid_arg "Exec: NL child access must be a scan"
+          in
+          run_nl db ~keep ~parent_var ~child_var ~set_attr ~parent_access
+            ~child_preds ~select ~aggregate
+      | Plan.NOJOIN ->
+          let parent_preds =
+            match parent_access with
+            | Plan.Seq_scan { preds; _ } -> preds
+            | Plan.Index_scan _ ->
+                invalid_arg "Exec: NOJOIN parent access must be a scan"
+          in
+          run_nojoin db ~keep ~parent_var ~child_var ~inv_attr ~parent_preds
+            ~child_access ~select ~aggregate
+      | Plan.PHJ ->
+          run_phj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
+            ~child_access ~select ~aggregate
+      | Plan.CHJ ->
+          run_chj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
+            ~child_access ~select ~aggregate
+      | Plan.PHHJ ->
+          run_phhj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
+            ~child_access ~partitions ~select ~aggregate
+      | Plan.CHHJ ->
+          run_chhj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
+            ~child_access ~partitions ~select ~aggregate
+      | Plan.SMJ ->
+          run_smj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
+            ~child_access ~select ~aggregate)

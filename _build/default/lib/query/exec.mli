@@ -1,0 +1,15 @@
+(** The query executor: runs a physical plan against a database, charging
+    every page fetch, Handle, comparison, hash operation, sort and result
+    append to the simulated clock.
+
+    Each operator follows the paper's pseudo-code:
+    - sequential scans and (sorted) index scans are Figure 8;
+    - NL, NOJOIN, PHJ, CHJ are the four algorithms of Section 5.1, with
+      PHJ/CHJ the pointer-based hash joins (CHJ being the paper's variation
+      of Shekita & Carey's pointer-based join that scans the outer
+      collection sequentially). *)
+
+(** [run db plan ~keep] executes the plan and returns the materialized
+    result.  [keep] retains the tuples (small runs and tests); the caller
+    must {!Query_result.dispose} the result when done with it. *)
+val run : Tb_store.Database.t -> Plan.t -> keep:bool -> Query_result.t

@@ -1,0 +1,46 @@
+type 'a t = {
+  sim : Tb_sim.Sim.t;
+  table : (Tb_storage.Rid.t, 'a list ref) Hashtbl.t;
+  mutable elements : int;
+  mutable bytes : int;
+  mutable disposed : bool;
+}
+
+let entry_overhead = 16
+let group_overhead = 40
+
+let create sim =
+  { sim; table = Hashtbl.create 1024; elements = 0; bytes = 0; disposed = false }
+
+let add t ~key ~payload_bytes v =
+  if t.disposed then invalid_arg "Mem_hash.add: disposed";
+  let cost =
+    match Hashtbl.find_opt t.table key with
+    | Some group ->
+        group := v :: !group;
+        entry_overhead + payload_bytes
+    | None ->
+        Hashtbl.replace t.table key (ref [ v ]);
+        group_overhead + entry_overhead + payload_bytes
+  in
+  t.elements <- t.elements + 1;
+  t.bytes <- t.bytes + cost;
+  Tb_sim.Sim.claim_bytes t.sim cost;
+  Tb_sim.Sim.charge_hash_insert t.sim
+
+let find t ~key =
+  Tb_sim.Sim.charge_hash_probe t.sim;
+  match Hashtbl.find_opt t.table key with
+  | Some group -> List.rev !group
+  | None -> []
+
+let group_count t = Hashtbl.length t.table
+let element_count t = t.elements
+let size_bytes t = t.bytes
+
+let dispose t =
+  if not t.disposed then begin
+    Tb_sim.Sim.release_bytes t.sim t.bytes;
+    t.disposed <- true;
+    Hashtbl.reset t.table
+  end

@@ -1,0 +1,114 @@
+type literal =
+  | L_int of int
+  | L_string of string
+  | L_char of char
+  | L_bool of bool
+  | L_nil
+
+type expr =
+  | Const of literal
+  | Var of string
+  | Path of string * string
+  | Mk_tuple of (string * expr) list
+
+type agg = Count | Sum | Avg | Min | Max
+type projection = Rows of expr | Aggregate of agg * expr
+type cmp = Lt | Le | Gt | Ge | Eq | Ne
+
+type pred = True | Cmp of expr * cmp * expr | And of pred * pred
+type source = Extent of string | Sub_collection of string * string
+type binding = { var : string; source : source }
+type query = { select : projection; from : binding list; where : pred }
+
+let literal_to_value = function
+  | L_int i -> Tb_store.Value.Int i
+  | L_string s -> Tb_store.Value.String s
+  | L_char c -> Tb_store.Value.Char c
+  | L_bool b -> Tb_store.Value.Bool b
+  | L_nil -> Tb_store.Value.Nil
+
+let eval_cmp cmp a b =
+  let open Tb_store.Value in
+  let ord =
+    match (a, b) with
+    | Int x, Int y -> Int.compare x y
+    | Real x, Real y -> Float.compare x y
+    | String x, String y -> String.compare x y
+    | Char x, Char y -> Char.compare x y
+    | Bool x, Bool y -> Bool.compare x y
+    | Ref x, Ref y -> Tb_storage.Rid.compare x y
+    | Nil, Nil -> 0
+    | _ -> invalid_arg "Oql_ast.eval_cmp: incomparable values"
+  in
+  match cmp with
+  | Lt -> ord < 0
+  | Le -> ord <= 0
+  | Gt -> ord > 0
+  | Ge -> ord >= 0
+  | Eq -> ord = 0
+  | Ne -> ord <> 0
+
+let agg_name = function
+  | Count -> "count"
+  | Sum -> "sum"
+  | Avg -> "avg"
+  | Min -> "min"
+  | Max -> "max"
+
+let pp_cmp ppf cmp =
+  Format.pp_print_string ppf
+    (match cmp with
+    | Lt -> "<"
+    | Le -> "<="
+    | Gt -> ">"
+    | Ge -> ">="
+    | Eq -> "="
+    | Ne -> "<>")
+
+let pp_literal ppf = function
+  | L_int i -> Format.pp_print_int ppf i
+  | L_string s -> Format.fprintf ppf "%S" s
+  | L_char c -> Format.fprintf ppf "'%c'" c
+  | L_bool b -> Format.pp_print_bool ppf b
+  | L_nil -> Format.pp_print_string ppf "nil"
+
+let rec pp_expr ppf = function
+  | Const l -> pp_literal ppf l
+  | Var v -> Format.pp_print_string ppf v
+  | Path (v, a) -> Format.fprintf ppf "%s.%s" v a
+  | Mk_tuple fields ->
+      Format.fprintf ppf "[@[%a@]]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           (fun ppf (n, e) -> Format.fprintf ppf "%s: %a" n pp_expr e))
+        fields
+
+let pp_projection ppf = function
+  | Rows e -> pp_expr ppf e
+  | Aggregate (a, e) -> Format.fprintf ppf "%s(%a)" (agg_name a) pp_expr e
+
+let rec pp_pred ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | Cmp (a, cmp, b) ->
+      Format.fprintf ppf "%a %a %a" pp_expr a pp_cmp cmp pp_expr b
+  | And (p, q) -> Format.fprintf ppf "%a and %a" pp_pred p pp_pred q
+
+let pp_source ppf = function
+  | Extent name -> Format.pp_print_string ppf name
+  | Sub_collection (v, a) -> Format.fprintf ppf "%s.%s" v a
+
+let pp_query ppf q =
+  Format.fprintf ppf "@[select %a@ from %a" pp_projection q.select
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf b -> Format.fprintf ppf "%s in %a" b.var pp_source b.source))
+    q.from;
+  (match q.where with
+  | True -> ()
+  | p -> Format.fprintf ppf "@ where %a" pp_pred p);
+  Format.fprintf ppf "@]"
+
+let rec conjuncts = function
+  | True -> []
+  | Cmp _ as c -> [ c ]
+  | And (p, q) -> conjuncts p @ conjuncts q

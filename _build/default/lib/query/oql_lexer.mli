@@ -1,0 +1,36 @@
+(** Tokenizer for the OQL subset. *)
+
+type token =
+  | SELECT
+  | FROM
+  | WHERE
+  | IN
+  | AND
+  | NIL
+  | TRUE
+  | FALSE
+  | IDENT of string
+  | INT of int
+  | STRING of string
+  | CHAR of char
+  | COMMA
+  | DOT
+  | COLON
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | LT
+  | LE
+  | GT
+  | GE
+  | EQ
+  | NE
+  | EOF
+
+exception Lex_error of string
+
+(** [tokenize s] — raises {!Lex_error} on malformed input. *)
+val tokenize : string -> token list
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,299 @@
+module Database = Tb_store.Database
+module Index_def = Tb_store.Index_def
+module Schema = Tb_store.Schema
+
+type mode = Heuristic | Cost_based
+
+(* --- statistics --- *)
+
+let pred_selectivity db ~cls (p : Plan.attr_pred) =
+  match (Plan.key_range p, Database.find_index db ~cls ~attr:p.Plan.attr) with
+  | Some (lo, hi), Some ix ->
+      let below = function
+        | Some k -> Index_def.selectivity_below ix k
+        | None -> 1.0
+      in
+      let above = match lo with Some k -> Index_def.selectivity_below ix k | None -> 0.0 in
+      Float.max 0.001 (below hi -. above)
+  | _ -> (
+      (* System-R style magic numbers when no statistics help. *)
+      match p.Plan.cmp with
+      | Oql_ast.Eq -> 0.01
+      | Oql_ast.Ne -> 0.99
+      | Oql_ast.Lt | Oql_ast.Le | Oql_ast.Gt | Oql_ast.Ge -> 1.0 /. 3.0)
+
+let side_selectivity db ~cls preds =
+  List.fold_left (fun acc p -> acc *. pred_selectivity db ~cls p) 1.0 preds
+
+(* --- access path construction --- *)
+
+(* Choose the most selective indexable conjunct; the rest stay residual. *)
+let choose_access db ~cls ~preds ~sorted ~force_seq =
+  let candidates =
+    if force_seq then []
+    else
+      List.filter_map
+        (fun p ->
+          match (Plan.key_range p, Database.find_index db ~cls ~attr:p.Plan.attr) with
+          | Some (lo, hi), Some ix -> Some (p, ix, lo, hi, pred_selectivity db ~cls p)
+          | _ -> None)
+        preds
+  in
+  match candidates with
+  | [] -> Plan.Seq_scan { cls; preds }
+  | _ :: _ ->
+      let best =
+        List.fold_left
+          (fun acc c ->
+            let _, _, _, _, sel = c and _, _, _, _, best_sel = acc in
+            if sel < best_sel then c else acc)
+          (List.hd candidates) (List.tl candidates)
+      in
+      let chosen, index, lo, hi, _ = best in
+      let residual = List.filter (fun p -> p != chosen) preds in
+      Plan.Index_scan { index; lo; hi; sorted; residual }
+
+let rough_attr_bytes schema ~cls attr =
+  match Schema.attr_type schema ~cls ~attr with
+  | Schema.TInt -> 5
+  | Schema.TString -> 21
+  | Schema.TChar | Schema.TBool -> 2
+  | Schema.TReal -> 9
+  | Schema.TRef _ -> 9
+  | Schema.TSet _ | Schema.TList _ | Schema.TTuple _ -> 16
+  | exception Not_found -> 9
+
+let payload_bytes_of db ~cls ~var select =
+  let attrs, _self = Plan.needed_attrs var select in
+  List.fold_left
+    (fun acc a -> acc + rough_attr_bytes (Database.schema db) ~cls a)
+    Tb_storage.Rid.on_disk_bytes attrs
+
+(* --- env assembly --- *)
+
+let make_side db ~cls ~preds ~payload =
+  let card = Database.cardinality db ~cls in
+  let pages = Database.extent_pages db ~cls in
+  let indexable =
+    List.filter_map
+      (fun p ->
+        match (Plan.key_range p, Database.find_index db ~cls ~attr:p.Plan.attr) with
+        | Some _, Some ix -> Some ix
+        | _ -> None)
+      preds
+  in
+  {
+    Estimate.card;
+    pages;
+    sel = side_selectivity db ~cls preds;
+    has_index = indexable <> [];
+    index_clustered =
+      (match indexable with ix :: _ -> Index_def.is_clustered ix | [] -> false);
+    payload_bytes = payload;
+  }
+
+let default_organization db ~parent_cls ~child_cls =
+  let same =
+    Tb_storage.Heap_file.file_id (Database.class_file db ~cls:parent_cls)
+    = Tb_storage.Heap_file.file_id (Database.class_file db ~cls:child_cls)
+  in
+  if same then Estimate.Shared_random else Estimate.Separate_files
+
+let join_env db bound ~organization =
+  match bound with
+  | Plan.B_selection _ -> invalid_arg "Planner.join_env: not a join"
+  | Plan.B_hier
+      {
+        parent_var;
+        parent_cls;
+        child_var;
+        child_cls;
+        parent_preds;
+        child_preds;
+        select;
+        _;
+      } ->
+      let sim = Database.sim db in
+      let parent =
+        make_side db ~cls:parent_cls ~preds:parent_preds
+          ~payload:(payload_bytes_of db ~cls:parent_cls ~var:parent_var select)
+      in
+      let child =
+        make_side db ~cls:child_cls ~preds:child_preds
+          ~payload:(payload_bytes_of db ~cls:child_cls ~var:child_var select)
+      in
+      {
+        Estimate.cost = sim.Tb_sim.Sim.cost;
+        organization;
+        client_cache_pages =
+          Tb_storage.Cache_stack.client_capacity (Database.stack db);
+        parent;
+        child;
+        fanout =
+          (if parent.Estimate.card = 0 then 0.0
+           else float_of_int child.Estimate.card /. float_of_int parent.Estimate.card);
+        result_bytes_per_row =
+          parent.Estimate.payload_bytes + child.Estimate.payload_bytes + 16;
+      }
+
+(* --- plan construction --- *)
+
+let selection_plan db ~mode ~force_sorted ~force_seq ~var ~cls ~preds ~select
+    ~aggregate =
+  let sorted =
+    match force_sorted with
+    | Some s -> s
+    | None -> (
+        match mode with
+        | Heuristic -> false (* O2 fetched in index order, unsorted *)
+        | Cost_based ->
+            (* Sorting the Rids is the Section 4.2 win; cost it both ways. *)
+            let side = make_side db ~cls ~preds ~payload:16 in
+            let env =
+              {
+                Estimate.cost = (Database.sim db).Tb_sim.Sim.cost;
+                organization = Estimate.Separate_files;
+                client_cache_pages =
+                  Tb_storage.Cache_stack.client_capacity (Database.stack db);
+                parent = side;
+                child = side;
+                fanout = 0.0;
+                result_bytes_per_row = 24;
+              }
+            in
+            Estimate.selection_index_ms env ~sorted:true
+            <= Estimate.selection_index_ms env ~sorted:false)
+  in
+  let access = choose_access db ~cls ~preds ~sorted ~force_seq in
+  (* Cost-based planning falls back to the scan when the index loses (the
+     1%-5% crossover of Section 4.2). *)
+  let access =
+    match (mode, access) with
+    | Cost_based, Plan.Index_scan { sorted; _ } ->
+        let side = make_side db ~cls ~preds ~payload:16 in
+        let env =
+          {
+            Estimate.cost = (Database.sim db).Tb_sim.Sim.cost;
+            organization = Estimate.Separate_files;
+            client_cache_pages =
+              Tb_storage.Cache_stack.client_capacity (Database.stack db);
+            parent = side;
+            child = side;
+            fanout = 0.0;
+            result_bytes_per_row = 24;
+          }
+        in
+        if
+          Estimate.selection_seq_ms env
+          < Estimate.selection_index_ms env ~sorted
+          && not (force_seq || force_sorted <> None)
+        then Plan.Seq_scan { cls; preds }
+        else access
+    | _ -> access
+  in
+  Plan.Selection { var; cls; access; select; aggregate }
+
+let join_plan db ~mode ~organization ~force_algo ~force_sorted ~force_seq bound =
+  match bound with
+  | Plan.B_selection _ -> assert false
+  | Plan.B_hier
+      {
+        parent_var;
+        parent_cls;
+        child_var;
+        child_cls;
+        set_attr;
+        inv_attr;
+        parent_preds;
+        child_preds;
+        select;
+        aggregate;
+      } ->
+      let organization =
+        match organization with
+        | Some o -> o
+        | None -> default_organization db ~parent_cls ~child_cls
+      in
+      let env = join_env db bound ~organization in
+      let algo =
+        match force_algo with
+        | Some a -> a
+        | None -> (
+            match mode with
+            | Heuristic -> Plan.NL (* the navigation bias of Section 2 *)
+            | Cost_based ->
+                let viable (a, _) =
+                  match a with
+                  | Plan.NL -> true
+                  | Plan.NOJOIN | Plan.PHJ | Plan.CHJ | Plan.PHHJ | Plan.CHHJ
+                  | Plan.SMJ ->
+                      inv_attr <> None
+                in
+                (match List.filter viable (Estimate.rank_joins env) with
+                | (a, _) :: _ -> a
+                | [] -> Plan.NL))
+      in
+      (* Hybrid hashing: enough partitions that each spilled bucket fits
+         comfortably in memory. *)
+      let partitions =
+        let budget =
+          0.8 *. float_of_int (Tb_sim.Cost_model.available_bytes
+                                 (Database.sim db).Tb_sim.Sim.cost)
+        in
+        let build_side_bytes =
+          let side_bytes (s : Estimate.side) =
+            s.Estimate.sel *. float_of_int s.Estimate.card
+            *. float_of_int
+                 (s.Estimate.payload_bytes + Mem_hash.entry_overhead
+                + Mem_hash.group_overhead)
+          in
+          match algo with
+          | Plan.PHHJ -> side_bytes env.Estimate.parent
+          | Plan.CHHJ -> side_bytes env.Estimate.child
+          | Plan.NL | Plan.NOJOIN | Plan.PHJ | Plan.CHJ | Plan.SMJ -> 0.0
+        in
+        if budget <= 0.0 then 8
+        else max 1 (int_of_float (ceil (build_side_bytes /. budget)))
+      in
+      let sorted = match force_sorted with Some s -> s | None -> mode = Cost_based in
+      let idx cls preds =
+        choose_access db ~cls ~preds ~sorted ~force_seq
+      in
+      let seq cls preds = Plan.Seq_scan { cls; preds } in
+      let parent_access, child_access =
+        match algo with
+        | Plan.NL -> (idx parent_cls parent_preds, seq child_cls child_preds)
+        | Plan.NOJOIN -> (seq parent_cls parent_preds, idx child_cls child_preds)
+        | Plan.PHJ | Plan.CHJ | Plan.PHHJ | Plan.CHHJ | Plan.SMJ ->
+            (idx parent_cls parent_preds, idx child_cls child_preds)
+      in
+      Plan.Hier_join
+        {
+          algo;
+          parent_var;
+          parent_cls;
+          child_var;
+          child_cls;
+          set_attr;
+          inv_attr;
+          parent_access;
+          child_access;
+          partitions;
+          select;
+          aggregate;
+        }
+
+let plan ?(mode = Cost_based) ?organization ?force_algo ?force_sorted
+    ?(force_seq = false) db q =
+  match Plan.bind db q with
+  | Plan.B_selection { var; cls; preds; select; aggregate } ->
+      selection_plan db ~mode ~force_sorted ~force_seq ~var ~cls ~preds ~select
+        ~aggregate
+  | Plan.B_hier _ as bound ->
+      join_plan db ~mode ~organization ~force_algo ~force_sorted ~force_seq bound
+
+let run ?mode ?organization ?force_algo ?force_sorted ?force_seq ?(keep = false)
+    db text =
+  let q = Oql_parser.parse text in
+  let p = plan ?mode ?organization ?force_algo ?force_sorted ?force_seq db q in
+  Exec.run db p ~keep

@@ -1,0 +1,49 @@
+(** Plan selection: the heuristic strategy O2 shipped with, and the
+    cost-based strategy the authors were working toward.
+
+    - [Heuristic] mimics the navigation-biased optimizer of Section 2: an
+      available index is always taken (unsorted — Section 4.2 shows O2 did
+      not sort Rids), and hierarchical joins are evaluated by navigation
+      (NL).
+    - [Cost_based] ranks every access path and join algorithm with
+      {!Estimate} and picks the cheapest — including the sorted-index-scan
+      and hybrid choices the paper's findings motivate. *)
+
+type mode = Heuristic | Cost_based
+
+(** [plan db q] chooses a physical plan.
+
+    [organization] tells the optimizer how the database was laid out
+    (defaults to [Separate_files] when the two classes live in different
+    files, [Shared_random] otherwise — composition clustering cannot be
+    detected from the catalog and must be declared).
+    [force_algo] pins the join algorithm (the benchmarks run all four);
+    [force_sorted] pins the sorted-Rid flag of index scans.
+    Raises {!Plan.Unsupported} on queries outside the subset. *)
+val plan :
+  ?mode:mode ->
+  ?organization:Estimate.organization ->
+  ?force_algo:Plan.join_algo ->
+  ?force_sorted:bool ->
+  ?force_seq:bool ->
+  Tb_store.Database.t ->
+  Oql_ast.query ->
+  Plan.t
+
+(** [join_env db bound ~organization] assembles the statistics {!Estimate}
+    needs for a bound hierarchical join (exposed for benches and tests).
+    Raises [Invalid_argument] if [bound] is a selection. *)
+val join_env :
+  Tb_store.Database.t -> Plan.bound -> organization:Estimate.organization -> Estimate.env
+
+(** Parse, plan and execute in one call (the public "just run it" API). *)
+val run :
+  ?mode:mode ->
+  ?organization:Estimate.organization ->
+  ?force_algo:Plan.join_algo ->
+  ?force_sorted:bool ->
+  ?force_seq:bool ->
+  ?keep:bool ->
+  Tb_store.Database.t ->
+  string ->
+  Query_result.t

@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Clock Cost_model Counters Float Rng

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Clock Cost_model Counters Rng

@@ -1,0 +1,11 @@
+type t = { mutable now_ms : float }
+
+let create () = { now_ms = 0.0 }
+
+let advance t ms =
+  if ms < 0.0 then invalid_arg "Clock.advance: negative duration";
+  t.now_ms <- t.now_ms +. ms
+
+let now_ms t = t.now_ms
+let now_s t = t.now_ms /. 1000.0
+let reset t = t.now_ms <- 0.0

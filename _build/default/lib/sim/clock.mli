@@ -1,0 +1,21 @@
+(** The simulated elapsed-time clock.
+
+    All times are kept in milliseconds of simulated wall-clock time.  The
+    paper concludes (Section 3.5) that elapsed time is "as good a measure as
+    anything else" because it tracks I/Os and RPCs; here it is defined as
+    exactly their weighted sum. *)
+
+type t
+
+val create : unit -> t
+
+(** [advance t ms] moves the clock forward; negative amounts are rejected. *)
+val advance : t -> float -> unit
+
+(** Current simulated time in milliseconds since [create]/[reset]. *)
+val now_ms : t -> float
+
+(** Current simulated time in seconds — the unit of every paper table. *)
+val now_s : t -> float
+
+val reset : t -> unit

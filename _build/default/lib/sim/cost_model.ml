@@ -1,0 +1,87 @@
+type handle_kind = Fat | Compact
+
+type t = {
+  page_size : int;
+  page_fill : float;
+  page_read_ms : float;
+  page_write_ms : float;
+  rpc_fixed_ms : float;
+  rpc_page_ms : float;
+  client_hit_ms : float;
+  handle_alloc_fat_us : float;
+  handle_free_fat_us : float;
+  handle_alloc_compact_us : float;
+  handle_free_compact_us : float;
+  handle_bytes_fat : int;
+  handle_bytes_compact : int;
+  get_att_us : float;
+  compare_us : float;
+  hash_insert_us : float;
+  hash_probe_us : float;
+  sort_cmp_us : float;
+  result_append_standard_us : float;
+  result_append_load_us : float;
+  swap_fault_ms : float;
+  thrash_factor : float;
+  ram_bytes : int;
+  reserved_bytes : int;
+}
+
+let mib n = n * 1024 * 1024
+
+let default =
+  {
+    page_size = 4096;
+    page_fill = 0.93;
+    page_read_ms = 10.0;
+    page_write_ms = 10.0;
+    rpc_fixed_ms = 0.3;
+    rpc_page_ms = 0.7;
+    client_hit_ms = 0.002;
+    handle_alloc_fat_us = 150.0;
+    handle_free_fat_us = 100.0;
+    handle_alloc_compact_us = 8.0;
+    handle_free_compact_us = 4.0;
+    handle_bytes_fat = 60;
+    handle_bytes_compact = 16;
+    get_att_us = 2.0;
+    compare_us = 0.1;
+    hash_insert_us = 1.5;
+    hash_probe_us = 1.0;
+    sort_cmp_us = 0.35;
+    result_append_standard_us = 600.0;
+    result_append_load_us = 30.0;
+    swap_fault_ms = 10.0;
+    thrash_factor = 4.0;
+    ram_bytes = mib 128;
+    (* 4 MB server cache + 32 MB client cache + ~28 MB of system, window
+       manager and AFS overhead the paper could not evaluate. *)
+    reserved_bytes = mib 64;
+  }
+
+let scaled n =
+  if n <= 0 then invalid_arg "Cost_model.scaled: factor must be positive";
+  {
+    default with
+    ram_bytes = default.ram_bytes / n;
+    reserved_bytes = default.reserved_bytes / n;
+  }
+
+let available_bytes t = max 0 (t.ram_bytes - t.reserved_bytes)
+
+let records_per_page t ~record_bytes =
+  if record_bytes <= 0 then invalid_arg "Cost_model.records_per_page";
+  let usable = int_of_float (float_of_int t.page_size *. t.page_fill) in
+  max 1 (usable / record_bytes)
+
+let handle_bytes t = function
+  | Fat -> t.handle_bytes_fat
+  | Compact -> t.handle_bytes_compact
+
+let handle_alloc_us t = function
+  | Fat -> t.handle_alloc_fat_us
+  | Compact -> t.handle_alloc_compact_us
+
+let handle_free_us t = function
+  | Fat -> t.handle_free_fat_us
+  | Compact -> t.handle_free_compact_us

@@ -1,0 +1,78 @@
+(** Cost model for the simulated O2-like system.
+
+    The paper measures elapsed time on a Sparc 20 (Solaris 2.6, SCSI disk) and
+    reasons about it as a sum of per-event costs — e.g. Section 4.2 assumes
+    "10ms per page read" and derives the CPU component of a scan from the
+    residual.  We make that decomposition explicit: every storage, handle,
+    hash, sort and result-construction event carries a calibrated cost, and
+    simulated elapsed time is the weighted event count.
+
+    Calibration anchors taken from the paper:
+    - 10 ms per disk page read (Section 4.2);
+    - constructing a collection of 1.8 million integers in standard
+      transaction mode costs about 1100 s, i.e. ~0.6 ms per element
+      (Section 4.2);
+    - the gap between a full scan and a sorted unclustered index scan at 90%
+      selectivity is dominated by ~200,000 extra Handle get/unreference pairs
+      (Figure 9), putting a fat-Handle pair in the 0.2-0.3 ms range;
+    - fat Handles occupy 60 bytes of memory each (Section 4.4). *)
+
+type handle_kind =
+  | Fat      (** the 60-byte O2 Handle of Section 4.4 *)
+  | Compact  (** the slimmed-down Handle the paper proposes *)
+
+type t = {
+  page_size : int;            (** bytes per page; the paper's O2 uses 4K *)
+  page_fill : float;          (** target fill factor; O2 leaves growth slack *)
+  page_read_ms : float;       (** disk -> server cache *)
+  page_write_ms : float;      (** server cache -> disk *)
+  rpc_fixed_ms : float;       (** per client<->server round trip *)
+  rpc_page_ms : float;        (** per page shipped server -> client *)
+  client_hit_ms : float;      (** touching a page already in the client cache *)
+  handle_alloc_fat_us : float;
+  handle_free_fat_us : float;
+  handle_alloc_compact_us : float;
+  handle_free_compact_us : float;
+  handle_bytes_fat : int;     (** 60 in O2 *)
+  handle_bytes_compact : int;
+  get_att_us : float;         (** reading one attribute through a Handle *)
+  compare_us : float;         (** one key comparison *)
+  hash_insert_us : float;
+  hash_probe_us : float;
+  sort_cmp_us : float;        (** per comparison inside a Rid sort *)
+  result_append_standard_us : float;
+      (** appending to a query result under a standard transaction: the
+          system builds the collection as if it could become persistent *)
+  result_append_load_us : float;  (** same, in transaction-off mode *)
+  swap_fault_ms : float;      (** one page fault once memory is exceeded *)
+  thrash_factor : float;      (** how sharply fault probability rises *)
+  ram_bytes : int;            (** physical memory (128 MB on the Sparc 20) *)
+  reserved_bytes : int;
+      (** memory not available to query operators: O2 caches, window
+          manager, AFS daemons... (Section 5.1, Figure 10 discussion) *)
+}
+
+(** The default model, calibrated against the paper's anchors at full scale
+    (128 MB RAM machine, 4 MB server / 32 MB client caches). *)
+val default : t
+
+(** [scaled n] divides every capacity (RAM, reserved memory) by [n] so that a
+    database generated at [1/n] of the paper's cardinalities keeps the same
+    capacity ratios — and therefore the same crossover points.  Per-event
+    costs are unchanged. [scaled 1 = default]. *)
+val scaled : int -> t
+
+(** [available_bytes t] is the memory left for query-operator working
+    structures (hash tables, result buffers) before swapping begins. *)
+val available_bytes : t -> int
+
+(** [records_per_page t ~record_bytes] is how many records of the given size
+    (including the slot-directory entry) fit on a page at the target fill. *)
+val records_per_page : t -> record_bytes:int -> int
+
+(** [handle_bytes t kind] / [handle_alloc_us t kind] / [handle_free_us t kind]
+    select the per-kind Handle parameters. *)
+val handle_bytes : t -> handle_kind -> int
+
+val handle_alloc_us : t -> handle_kind -> float
+val handle_free_us : t -> handle_kind -> float

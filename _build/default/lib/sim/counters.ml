@@ -1,0 +1,104 @@
+type t = {
+  mutable disk_reads : int;
+  mutable disk_writes : int;
+  mutable rpc_count : int;
+  mutable rpc_pages : int;
+  mutable server_hits : int;
+  mutable server_misses : int;
+  mutable client_hits : int;
+  mutable client_misses : int;
+  mutable handle_allocs : int;
+  mutable handle_frees : int;
+  mutable handle_hits : int;
+  mutable get_atts : int;
+  mutable comparisons : int;
+  mutable hash_inserts : int;
+  mutable hash_probes : int;
+  mutable sort_comparisons : int;
+  mutable result_appends : int;
+  mutable swap_faults : int;
+}
+
+let create () =
+  {
+    disk_reads = 0;
+    disk_writes = 0;
+    rpc_count = 0;
+    rpc_pages = 0;
+    server_hits = 0;
+    server_misses = 0;
+    client_hits = 0;
+    client_misses = 0;
+    handle_allocs = 0;
+    handle_frees = 0;
+    handle_hits = 0;
+    get_atts = 0;
+    comparisons = 0;
+    hash_inserts = 0;
+    hash_probes = 0;
+    sort_comparisons = 0;
+    result_appends = 0;
+    swap_faults = 0;
+  }
+
+let reset t =
+  t.disk_reads <- 0;
+  t.disk_writes <- 0;
+  t.rpc_count <- 0;
+  t.rpc_pages <- 0;
+  t.server_hits <- 0;
+  t.server_misses <- 0;
+  t.client_hits <- 0;
+  t.client_misses <- 0;
+  t.handle_allocs <- 0;
+  t.handle_frees <- 0;
+  t.handle_hits <- 0;
+  t.get_atts <- 0;
+  t.comparisons <- 0;
+  t.hash_inserts <- 0;
+  t.hash_probes <- 0;
+  t.sort_comparisons <- 0;
+  t.result_appends <- 0;
+  t.swap_faults <- 0
+
+let snapshot t = { t with disk_reads = t.disk_reads }
+
+let diff ~later ~earlier =
+  {
+    disk_reads = later.disk_reads - earlier.disk_reads;
+    disk_writes = later.disk_writes - earlier.disk_writes;
+    rpc_count = later.rpc_count - earlier.rpc_count;
+    rpc_pages = later.rpc_pages - earlier.rpc_pages;
+    server_hits = later.server_hits - earlier.server_hits;
+    server_misses = later.server_misses - earlier.server_misses;
+    client_hits = later.client_hits - earlier.client_hits;
+    client_misses = later.client_misses - earlier.client_misses;
+    handle_allocs = later.handle_allocs - earlier.handle_allocs;
+    handle_frees = later.handle_frees - earlier.handle_frees;
+    handle_hits = later.handle_hits - earlier.handle_hits;
+    get_atts = later.get_atts - earlier.get_atts;
+    comparisons = later.comparisons - earlier.comparisons;
+    hash_inserts = later.hash_inserts - earlier.hash_inserts;
+    hash_probes = later.hash_probes - earlier.hash_probes;
+    sort_comparisons = later.sort_comparisons - earlier.sort_comparisons;
+    result_appends = later.result_appends - earlier.result_appends;
+    swap_faults = later.swap_faults - earlier.swap_faults;
+  }
+
+let rate misses hits =
+  let total = misses + hits in
+  if total = 0 then 0.0 else 100.0 *. float_of_int misses /. float_of_int total
+
+let client_miss_rate t = rate t.client_misses t.client_hits
+let server_miss_rate t = rate t.server_misses t.server_hits
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>disk reads/writes: %d/%d@ rpc: %d (%d pages)@ server hit/miss: \
+     %d/%d@ client hit/miss: %d/%d@ handles alloc/free/hit: %d/%d/%d@ \
+     get_att: %d cmp: %d@ hash ins/probe: %d/%d sortcmp: %d@ result: %d swap \
+     faults: %d@]"
+    t.disk_reads t.disk_writes t.rpc_count t.rpc_pages t.server_hits
+    t.server_misses t.client_hits t.client_misses t.handle_allocs
+    t.handle_frees t.handle_hits t.get_atts t.comparisons t.hash_inserts
+    t.hash_probes t.sort_comparisons t.result_appends t.swap_faults

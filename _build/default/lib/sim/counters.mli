@@ -1,0 +1,52 @@
+(** Event counters for one measurement window.
+
+    These mirror the metrics the authors record per experiment in their own
+    benchmark-results database (Figure 3): disk-to-server-cache page reads
+    (D2SC), server-to-client reads (SC2CC), RPC count and volume, cache hit
+    and miss counts, plus the CPU-side events (Handle traffic, comparisons,
+    hash operations, sorts, result construction, swap faults) that Section 4
+    shows dominate cold associative accesses. *)
+
+type t = {
+  mutable disk_reads : int;
+  mutable disk_writes : int;
+  mutable rpc_count : int;
+  mutable rpc_pages : int;
+  mutable server_hits : int;
+  mutable server_misses : int;
+  mutable client_hits : int;
+  mutable client_misses : int;
+  mutable handle_allocs : int;
+  mutable handle_frees : int;
+  mutable handle_hits : int;  (** accesses served by an already-live Handle *)
+  mutable get_atts : int;
+  mutable comparisons : int;
+  mutable hash_inserts : int;
+  mutable hash_probes : int;
+  mutable sort_comparisons : int;
+  mutable result_appends : int;
+  mutable swap_faults : int;
+}
+
+(** A zeroed counter set. *)
+val create : unit -> t
+
+(** Reset every counter to zero. *)
+val reset : t -> unit
+
+(** An independent snapshot of the current values. *)
+val snapshot : t -> t
+
+(** [diff ~later ~earlier] is the per-field difference — the events that
+    happened between two snapshots. *)
+val diff : later:t -> earlier:t -> t
+
+(** Client-cache miss rate in percent, as stored in the paper's [Stat]
+    objects ([CCMissrate]); [0.] when there was no traffic. *)
+val client_miss_rate : t -> float
+
+(** Server-cache miss rate in percent ([SCMissrate]). *)
+val server_miss_rate : t -> float
+
+(** Pretty-printer for debug output and reports. *)
+val pp : Format.formatter -> t -> unit

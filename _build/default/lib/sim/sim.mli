@@ -1,0 +1,89 @@
+(** Simulation context: one per simulated machine.
+
+    Bundles the cost model, the simulated clock, the event counters, the
+    deterministic PRNG and the transient-memory accountant.  Every layer of
+    the system (disk, buffer pools, handles, query operators) charges its
+    events here, so that simulated elapsed time and the Figure-3-style
+    statistics fall out of one place.
+
+    {2 Memory accounting and swapping}
+
+    Query operators register their transient structures (hash tables, result
+    buffers) with [claim_bytes]/[release_bytes].  While the total exceeds the
+    memory left over by the caches and the OS ([Cost_model.available_bytes]),
+    random accesses (hash inserts and probes) suffer page faults with a
+    probability that rises with the excess — the thrashing the paper observed
+    when a "hash on a very large table" implied "a lot of memory swap"
+    (Sections 3.5 and 5.1).  Sequential growth (result construction) pays at
+    most one fault per page of excess, modelling write-behind. *)
+
+type t = {
+  cost : Cost_model.t;
+  clock : Clock.t;
+  counters : Counters.t;
+  rng : Rng.t;
+  mutable working_bytes : int;
+  mutable peak_working_bytes : int;  (** high-water mark since last [reset] *)
+  mutable random_fault_accum : float;
+  mutable seq_fault_accum : float;
+}
+
+(** [create ?seed cost] makes a fresh context; [seed] defaults to 42. *)
+val create : ?seed:int -> Cost_model.t -> t
+
+(** Simulated elapsed seconds since the last [reset]. *)
+val elapsed_s : t -> float
+
+(** Reset clock, counters and fault accumulators (not the PRNG, not the
+    claimed working memory). Used between cold runs. *)
+val reset : t -> unit
+
+(** {2 Transient memory} *)
+
+val claim_bytes : t -> int -> unit
+val release_bytes : t -> int -> unit
+
+(** Bytes of transient query memory currently claimed. *)
+val working_bytes : t -> int
+
+(** [excess_ratio t] is [(claimed - available) / available], clamped at 0 —
+    how far past physical memory the working structures have grown. *)
+val excess_ratio : t -> float
+
+(** {2 Charging events}
+
+    Each [charge_*] bumps the matching counter and advances the clock. *)
+
+val charge_disk_read : t -> unit
+val charge_disk_write : t -> unit
+
+(** [charge_rpc t ~pages] is one client/server round trip shipping [pages]
+    pages. *)
+val charge_rpc : t -> pages:int -> unit
+
+val charge_client_hit : t -> unit
+val charge_handle_alloc : t -> Cost_model.handle_kind -> unit
+val charge_handle_free : t -> Cost_model.handle_kind -> unit
+
+(** An object access served by an already-live Handle (delayed free paid
+    off). *)
+val charge_handle_hit : t -> unit
+
+val charge_get_att : t -> unit
+val charge_compare : t -> int -> unit
+
+(** Hash-table traffic; these also roll the swap dice when the working set
+    exceeds memory. *)
+val charge_hash_insert : t -> unit
+
+val charge_hash_probe : t -> unit
+
+(** [charge_sort t n] charges an [n log2 n]-comparison sort (the Rid sort of
+    Section 4.2). *)
+val charge_sort : t -> int -> unit
+
+(** [charge_result_append t ~bytes ~standard] appends one element to the
+    query result.  Under a standard transaction the system builds the
+    collection "as if it could become persistent" (Section 4.2), which is
+    what makes it cost ~0.6 ms per element. *)
+val charge_result_append : t -> bytes:int -> standard:bool -> unit

@@ -1,0 +1,1 @@
+lib/statdb/stat_report.ml: Buffer Hashtbl Int List Printf Stat_store

@@ -1,0 +1,1 @@
+lib/statdb/stat_report.mli: Stat_store

@@ -1,0 +1,1 @@
+lib/statdb/stat_schema.mli: Tb_store

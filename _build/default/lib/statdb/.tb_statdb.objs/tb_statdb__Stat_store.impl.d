@@ -1,0 +1,1 @@
+lib/statdb/stat_store.ml: Buffer List Printf Stat_schema Tb_query Tb_sim Tb_storage Tb_store

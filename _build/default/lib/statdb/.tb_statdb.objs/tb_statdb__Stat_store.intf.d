@@ -1,0 +1,1 @@
+lib/statdb/stat_store.mli: Tb_query Tb_storage Tb_store

@@ -1,0 +1,89 @@
+let groups store =
+  let table = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (o : Stat_store.observation) ->
+      let key = (o.Stat_store.cluster, o.Stat_store.algo) in
+      (match Hashtbl.find_opt table key with
+      | Some rows -> rows := o :: !rows
+      | None ->
+          Hashtbl.replace table key (ref [ o ]);
+          order := key :: !order))
+    (Stat_store.observations store);
+  List.rev_map (fun key -> (key, List.rev !(Hashtbl.find table key))) !order
+
+let group_name (cluster, algo) = Printf.sprintf "%s/%s" cluster algo
+
+let gnuplot_data store =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (key, rows) ->
+      Buffer.add_string buf (Printf.sprintf "# %s\n" (group_name key));
+      Buffer.add_string buf "# selectivity_pct  elapsed_s\n";
+      let sorted =
+        List.sort
+          (fun (a : Stat_store.observation) b ->
+            Int.compare a.Stat_store.selectivity b.Stat_store.selectivity)
+          rows
+      in
+      List.iter
+        (fun (o : Stat_store.observation) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%d  %.3f\n" o.Stat_store.selectivity
+               o.Stat_store.elapsed_s))
+        sorted;
+      Buffer.add_string buf "\n\n")
+    (groups store);
+  Buffer.contents buf
+
+let gnuplot_script ~data_file store =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "set xlabel \"selectivity (%)\"\n";
+  Buffer.add_string buf "set ylabel \"elapsed (simulated s)\"\n";
+  Buffer.add_string buf "set key left top\n";
+  Buffer.add_string buf "plot \\\n";
+  let gs = groups store in
+  List.iteri
+    (fun i (key, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %S index %d with linespoints title %S%s\n" data_file
+           i (group_name key)
+           (if i = List.length gs - 1 then "" else ", \\")))
+    gs;
+  Buffer.contents buf
+
+let summary store =
+  let buf = Buffer.create 256 in
+  let obs = Stat_store.observations store in
+  Buffer.add_string buf
+    (Printf.sprintf "%d observations across %d groups\n" (List.length obs)
+       (List.length (groups store)));
+  List.iter
+    (fun ((_, algo) as key, rows) ->
+      let n = List.length rows in
+      let total =
+        List.fold_left
+          (fun acc (o : Stat_store.observation) -> acc +. o.Stat_store.elapsed_s)
+          0.0 rows
+      in
+      ignore algo;
+      Buffer.add_string buf
+        (Printf.sprintf "  %-24s %4d runs, mean %8.2f s\n" (group_name key) n
+           (total /. float_of_int (max 1 n))))
+    (groups store);
+  (match
+     List.fold_left
+       (fun acc (o : Stat_store.observation) ->
+         match acc with
+         | Some (w : Stat_store.observation)
+           when w.Stat_store.elapsed_s >= o.Stat_store.elapsed_s ->
+             acc
+         | _ -> Some o)
+       None obs
+   with
+  | Some w ->
+      Buffer.add_string buf
+        (Printf.sprintf "slowest: %s on %s at %d%% — %.2f s\n" w.Stat_store.algo
+           w.Stat_store.cluster w.Stat_store.selectivity w.Stat_store.elapsed_s)
+  | None -> ());
+  Buffer.contents buf

@@ -1,0 +1,21 @@
+(** Turning stored benchmark results into analysis inputs.
+
+    The authors thank Jérôme Siméon "for giving us a hand in using YAT to
+    convert data from O2 to Gnuplot" — the stats database is only useful if
+    its contents can reach plotting and data-analysis tools.  This module
+    renders a {!Stat_store} into Gnuplot-ready [.dat] series and a plot
+    script, plus a quick textual digest. *)
+
+(** [gnuplot_data store] renders one [.dat] block per (cluster, algorithm)
+    group — selectivity vs elapsed seconds, sorted by selectivity —
+    separated by double blank lines with [# name] headers, directly
+    loadable with Gnuplot's [index] syntax. *)
+val gnuplot_data : Stat_store.t -> string
+
+(** [gnuplot_script ~data_file store] is a plot script covering every group
+    present in the store. *)
+val gnuplot_script : data_file:string -> Stat_store.t -> string
+
+(** [summary store] is a short digest: observation count, per-algorithm
+    mean elapsed time, and the slowest run. *)
+val summary : Stat_store.t -> string

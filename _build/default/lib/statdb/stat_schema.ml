@@ -1,0 +1,80 @@
+module Schema = Tb_store.Schema
+
+let stat_cls = "Stat"
+let query_cls = "Query"
+let extent_cls = "Extent"
+let system_cls = "System"
+let stats_extent = "Stats"
+let queries_extent = "Queries"
+let extents_extent = "Extents"
+let systems_extent = "Systems"
+
+(* Figure 3, with the one adaptation that [ElapsedTime] is stored in
+   milliseconds as an integer so that it can be indexed and compared by the
+   OQL subset (which indexes integers only). A real-typed mirror attribute
+   keeps the original unit. *)
+let schema =
+  Schema.make
+    ~classes:
+      [
+        {
+          Schema.cls_name = query_cls;
+          attrs =
+            [
+              ("cold", Schema.TBool);
+              ("projectiontype", Schema.TString);
+              ("selectivity", Schema.TInt);
+              ("text", Schema.TString);
+            ];
+        };
+        {
+          Schema.cls_name = extent_cls;
+          attrs =
+            [
+              ("classname", Schema.TString);
+              ("size", Schema.TInt);
+              ( "associations",
+                Schema.TSet
+                  (Schema.TTuple
+                     [ ("extent", Schema.TRef extent_cls); ("linkratio", Schema.TInt) ])
+              );
+            ];
+        };
+        {
+          Schema.cls_name = system_cls;
+          attrs =
+            [
+              ("servercachesize", Schema.TInt);
+              ("clientcachesize", Schema.TInt);
+              ("sameworkstation", Schema.TBool);
+            ];
+        };
+        {
+          Schema.cls_name = stat_cls;
+          attrs =
+            [
+              ("numtest", Schema.TInt);
+              ("query", Schema.TRef query_cls);
+              ("database", Schema.TSet (Schema.TRef extent_cls));
+              ("cluster", Schema.TString);
+              ("algo", Schema.TString);
+              ("system", Schema.TRef system_cls);
+              ("CCPagefaults", Schema.TInt);
+              ("ElapsedTime", Schema.TReal);
+              ("ElapsedTimeMs", Schema.TInt);
+              ("RPCsnumber", Schema.TInt);
+              ("RPCstotalsize", Schema.TInt);
+              ("D2SCreadpages", Schema.TInt);
+              ("SC2CCreadpages", Schema.TInt);
+              ("CCMissrate", Schema.TInt);
+              ("SCMissrate", Schema.TInt);
+            ];
+        };
+      ]
+    ~roots:
+      [
+        (stats_extent, Schema.TSet (Schema.TRef stat_cls));
+        (queries_extent, Schema.TSet (Schema.TRef query_cls));
+        (extents_extent, Schema.TSet (Schema.TRef extent_cls));
+        (systems_extent, Schema.TSet (Schema.TRef system_cls));
+      ]

@@ -1,0 +1,155 @@
+module Value = Tb_store.Value
+module Database = Tb_store.Database
+module Rid = Tb_storage.Rid
+
+type observation = {
+  numtest : int;
+  query_text : string;
+  projection : string;
+  selectivity : int;
+  cold : bool;
+  database : string;
+  cluster : string;
+  algo : string;
+  server_cache_pages : int;
+  client_cache_pages : int;
+  elapsed_s : float;
+  rpcs : int;
+  rpc_pages : int;
+  d2sc_reads : int;
+  sc2cc_reads : int;
+  cc_missrate : float;
+  sc_missrate : float;
+  cc_pagefaults : int;
+}
+
+type t = {
+  db : Database.t;
+  mutable systems : ((int * int) * Rid.t) list;
+  mutable extents : (string * Rid.t) list;
+  mutable recorded : (Rid.t * observation) list;  (* newest first *)
+}
+
+let create () =
+  let sim = Tb_sim.Sim.create (Tb_sim.Cost_model.scaled 16) in
+  let db =
+    Database.create sim ~schema:Stat_schema.schema ~server_pages:64
+      ~client_pages:256 ~txn_mode:Tb_store.Transaction.Load_off ()
+  in
+  List.iter
+    (fun (cls, file) ->
+      Database.bind_class db ~cls (Database.new_file db ~name:file))
+    [
+      (Stat_schema.stat_cls, "stats");
+      (Stat_schema.query_cls, "queries");
+      (Stat_schema.extent_cls, "extents");
+      (Stat_schema.system_cls, "systems");
+    ];
+  (* Index the stats on test number so they can be ranged over in OQL. *)
+  let t = { db; systems = []; extents = []; recorded = [] } in
+  ignore
+    (Database.create_index db ~name:"numtest" ~cls:Stat_schema.stat_cls
+       ~attr:"numtest");
+  t
+
+let db t = t.db
+
+let system_rid t ~server ~client =
+  match List.assoc_opt (server, client) t.systems with
+  | Some rid -> rid
+  | None ->
+      let rid =
+        Database.insert_object t.db ~cls:Stat_schema.system_cls
+          (Value.Tuple
+             [
+               ("servercachesize", Value.Int server);
+               ("clientcachesize", Value.Int client);
+               ("sameworkstation", Value.Bool true);
+             ])
+      in
+      t.systems <- ((server, client), rid) :: t.systems;
+      rid
+
+let register_extent t ~classname ~size ~links =
+  let assoc =
+    List.map
+      (fun (name, ratio) ->
+        let target =
+          match List.assoc_opt name t.extents with
+          | Some rid -> rid
+          | None -> raise Not_found
+        in
+        Value.Tuple [ ("extent", Value.Ref target); ("linkratio", Value.Int ratio) ])
+      links
+  in
+  let rid =
+    Database.insert_object t.db ~cls:Stat_schema.extent_cls
+      (Value.Tuple
+         [
+           ("classname", Value.String classname);
+           ("size", Value.Int size);
+           ("associations", Value.Set assoc);
+         ])
+  in
+  t.extents <- (classname, rid) :: t.extents;
+  rid
+
+let record t obs =
+  let query_rid =
+    Database.insert_object t.db ~cls:Stat_schema.query_cls
+      (Value.Tuple
+         [
+           ("cold", Value.Bool obs.cold);
+           ("projectiontype", Value.String obs.projection);
+           ("selectivity", Value.Int obs.selectivity);
+           ("text", Value.String obs.query_text);
+         ])
+  in
+  let system_rid =
+    system_rid t ~server:obs.server_cache_pages ~client:obs.client_cache_pages
+  in
+  let stat_rid =
+    Database.insert_object t.db ~cls:Stat_schema.stat_cls
+      (Value.Tuple
+         [
+           ("numtest", Value.Int obs.numtest);
+           ("query", Value.Ref query_rid);
+           ("database", Value.Set (List.map (fun (_, r) -> Value.Ref r) t.extents));
+           ("cluster", Value.String obs.cluster);
+           ("algo", Value.String obs.algo);
+           ("system", Value.Ref system_rid);
+           ("CCPagefaults", Value.Int obs.cc_pagefaults);
+           ("ElapsedTime", Value.Real obs.elapsed_s);
+           ("ElapsedTimeMs", Value.Int (int_of_float (obs.elapsed_s *. 1000.0)));
+           ("RPCsnumber", Value.Int obs.rpcs);
+           ("RPCstotalsize", Value.Int obs.rpc_pages);
+           ("D2SCreadpages", Value.Int obs.d2sc_reads);
+           ("SC2CCreadpages", Value.Int obs.sc2cc_reads);
+           ("CCMissrate", Value.Int (int_of_float obs.cc_missrate));
+           ("SCMissrate", Value.Int (int_of_float obs.sc_missrate));
+         ])
+  in
+  t.recorded <- (stat_rid, obs) :: t.recorded;
+  stat_rid
+
+let count t = List.length t.recorded
+let observations t = List.rev_map snd t.recorded
+let query t oql = Tb_query.Planner.run t.db oql ~keep:true
+
+let csv_header =
+  "numtest,algo,cluster,database,selectivity,cold,elapsed_s,rpcs,rpc_pages,\
+   d2sc_reads,sc2cc_reads,cc_missrate,sc_missrate,cc_pagefaults,query"
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf csv_header;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun o ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s,%s,%s,%d,%b,%.3f,%d,%d,%d,%d,%.1f,%.1f,%d,%S\n"
+           o.numtest o.algo o.cluster o.database o.selectivity o.cold
+           o.elapsed_s o.rpcs o.rpc_pages o.d2sc_reads o.sc2cc_reads
+           o.cc_missrate o.sc_missrate o.cc_pagefaults o.query_text))
+    (observations t);
+  Buffer.contents buf

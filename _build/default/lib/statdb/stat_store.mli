@@ -1,0 +1,57 @@
+(** The benchmark-results database: record one [Stat] object per experiment
+    (Section 3.3), query them back, export them.
+
+    The store runs on its own simulated machine whose costs do not pollute
+    the experiments being recorded. *)
+
+type observation = {
+  numtest : int;
+  query_text : string;
+  projection : string;
+  selectivity : int;  (** percent, as in the paper's Query class *)
+  cold : bool;
+  database : string;  (** e.g. "2000x1000" *)
+  cluster : string;  (** organization name *)
+  algo : string;  (** "NL", "PHJ", "scan", ... *)
+  server_cache_pages : int;
+  client_cache_pages : int;
+  elapsed_s : float;
+  rpcs : int;
+  rpc_pages : int;
+  d2sc_reads : int;
+  sc2cc_reads : int;
+  cc_missrate : float;
+  sc_missrate : float;
+  cc_pagefaults : int;
+}
+
+type t
+
+val create : unit -> t
+
+(** The underlying object database (it answers the same OQL subset the
+    benchmarks measure). *)
+val db : t -> Tb_store.Database.t
+
+(** [record t obs] creates the [Query], [System] (deduplicated) and [Stat]
+    objects and returns the Stat's Rid. *)
+val record : t -> observation -> Tb_storage.Rid.t
+
+(** [register_extent t ~classname ~size ~links] declares an [Extent] object
+    ([links] are (classname, linkratio) pairs to already-registered
+    extents). Raises [Not_found] if a link target is unknown. *)
+val register_extent :
+  t -> classname:string -> size:int -> links:(string * int) list -> Tb_storage.Rid.t
+
+val count : t -> int
+
+(** All observations, in recording order. *)
+val observations : t -> observation list
+
+(** [query t oql] runs the OQL subset over the stats database, e.g.
+    [select s.ElapsedTimeMs from s in Stats where s.numtest < 10]. *)
+val query : t -> string -> Tb_query.Query_result.t
+
+(** CSV export (header + one line per stat) — the paper fed its results to
+    data-analysis tools and Gnuplot; this is our conversion path. *)
+val to_csv : t -> string

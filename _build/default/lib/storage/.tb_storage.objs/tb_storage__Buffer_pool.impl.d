@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Hashtbl Page_id Page_layout

@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.mli: Page_id Page_layout

@@ -1,0 +1,1 @@
+lib/storage/cache_stack.ml: Buffer_pool Disk Page_layout Tb_sim

@@ -1,0 +1,1 @@
+lib/storage/cache_stack.mli: Disk Page_id Page_layout Tb_sim

@@ -1,0 +1,1 @@
+lib/storage/disk.ml: Array List Page_id Page_layout String Tb_sim

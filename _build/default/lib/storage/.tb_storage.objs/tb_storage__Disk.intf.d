@@ -1,0 +1,1 @@
+lib/storage/disk.mli: Page_id Page_layout Tb_sim

@@ -1,0 +1,1 @@
+lib/storage/heap_file.ml: Bytes Cache_stack Disk Page_id Page_layout Rid Tb_sim

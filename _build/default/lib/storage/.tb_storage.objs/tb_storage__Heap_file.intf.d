@@ -1,0 +1,1 @@
+lib/storage/heap_file.mli: Cache_stack Rid

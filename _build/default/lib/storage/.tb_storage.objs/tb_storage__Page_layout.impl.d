@@ -1,0 +1,1 @@
+lib/storage/page_layout.ml: Bytes Int List

@@ -1,0 +1,1 @@
+lib/storage/rid.ml: Bytes Format Hashtbl Int Int32

@@ -1,0 +1,92 @@
+(* Doubly-linked LRU list threaded through a hash table. [head] is the least
+   recently used node, [tail] the most recent. *)
+
+type node = {
+  id : Page_id.t;
+  page : Page_layout.t;
+  mutable prev : node option;
+  mutable next : node option;
+}
+
+type t = {
+  capacity : int;
+  table : (Page_id.t, node) Hashtbl.t;
+  mutable head : node option;
+  mutable tail : node option;
+}
+
+let create ~capacity_pages =
+  if capacity_pages <= 0 then invalid_arg "Buffer_pool.create: capacity";
+  { capacity = capacity_pages; table = Hashtbl.create 1024; head = None; tail = None }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_tail t node =
+  node.prev <- t.tail;
+  node.next <- None;
+  (match t.tail with Some old -> old.next <- Some node | None -> t.head <- Some node);
+  t.tail <- Some node
+
+let find t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      push_tail t node;
+      Some node.page
+
+let mem t id = Hashtbl.mem t.table id
+
+let add t id page =
+  match Hashtbl.find_opt t.table id with
+  | Some node ->
+      unlink t node;
+      push_tail t node;
+      None
+  | None ->
+      let victim =
+        if Hashtbl.length t.table >= t.capacity then
+          match t.head with
+          | Some lru ->
+              unlink t lru;
+              Hashtbl.remove t.table lru.id;
+              Some (lru.id, lru.page)
+          | None -> None
+        else None
+      in
+      let node = { id; page; prev = None; next = None } in
+      Hashtbl.replace t.table id node;
+      push_tail t node;
+      victim
+
+let remove t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> ()
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table id
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some node ->
+        f node.id node.page;
+        go node.next
+  in
+  go t.head
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,34 @@
+(** A fixed-capacity LRU pool of pages.
+
+    Used twice per database: once as the server cache (4 MB by default) and
+    once as the client cache (32 MB in the paper's tuned configuration) —
+    see {!Cache_stack}.  The pool itself is policy-free bookkeeping: lookups
+    refresh recency, insertions report the victim so the caller can charge
+    the write-back. *)
+
+type t
+
+(** [create ~capacity_pages] — capacity must be positive. *)
+val create : capacity_pages:int -> t
+
+val capacity : t -> int
+val size : t -> int
+
+(** [find t id] returns the cached page and marks it most recently used. *)
+val find : t -> Page_id.t -> Page_layout.t option
+
+val mem : t -> Page_id.t -> bool
+
+(** [add t id page] caches [page]; if the pool was full, the least recently
+    used entry is evicted and returned.  Re-adding a present id refreshes
+    recency and returns [None]. *)
+val add : t -> Page_id.t -> Page_layout.t -> (Page_id.t * Page_layout.t) option
+
+(** [remove t id] drops an entry if present. *)
+val remove : t -> Page_id.t -> unit
+
+(** [iter t f] visits every cached entry, least recently used first. *)
+val iter : t -> (Page_id.t -> Page_layout.t -> unit) -> unit
+
+(** Drop everything (server shutdown between cold runs). *)
+val clear : t -> unit

@@ -1,0 +1,90 @@
+type t = {
+  sim : Tb_sim.Sim.t;
+  disk : Disk.t;
+  server : Buffer_pool.t;
+  client : Buffer_pool.t;
+}
+
+let create sim disk ~server_pages ~client_pages =
+  {
+    sim;
+    disk;
+    server = Buffer_pool.create ~capacity_pages:server_pages;
+    client = Buffer_pool.create ~capacity_pages:client_pages;
+  }
+
+let server_capacity t = Buffer_pool.capacity t.server
+let client_capacity t = Buffer_pool.capacity t.client
+let disk t = t.disk
+let sim t = t.sim
+
+(* Page objects are shared between disk and caches; "writing" a page to disk
+   is therefore pure cost accounting plus clearing the dirty bit. *)
+let write_to_disk t page =
+  if Page_layout.dirty page then begin
+    Tb_sim.Sim.charge_disk_write t.sim;
+    Page_layout.set_dirty page false
+  end
+
+(* Install a page in the server pool; a dirty victim goes to disk. *)
+let server_add t id page =
+  match Buffer_pool.add t.server id page with
+  | None -> ()
+  | Some (_vid, victim) -> write_to_disk t victim
+
+(* Install a page in the client pool; a dirty victim is shipped back to the
+   server (one RPC) and stays dirty there until the server evicts it. *)
+let client_add t id page =
+  match Buffer_pool.add t.client id page with
+  | None -> ()
+  | Some (vid, victim) ->
+      if Page_layout.dirty victim then begin
+        Tb_sim.Sim.charge_rpc t.sim ~pages:1;
+        server_add t vid victim
+      end
+
+let fetch_from_server t id =
+  match Buffer_pool.find t.server id with
+  | Some page ->
+      t.sim.Tb_sim.Sim.counters.Tb_sim.Counters.server_hits <-
+        t.sim.Tb_sim.Sim.counters.Tb_sim.Counters.server_hits + 1;
+      page
+  | None ->
+      t.sim.Tb_sim.Sim.counters.Tb_sim.Counters.server_misses <-
+        t.sim.Tb_sim.Sim.counters.Tb_sim.Counters.server_misses + 1;
+      Tb_sim.Sim.charge_disk_read t.sim;
+      let page = Disk.page t.disk id in
+      server_add t id page;
+      page
+
+let fetch t id =
+  match Buffer_pool.find t.client id with
+  | Some page ->
+      Tb_sim.Sim.charge_client_hit t.sim;
+      page
+  | None ->
+      t.sim.Tb_sim.Sim.counters.Tb_sim.Counters.client_misses <-
+        t.sim.Tb_sim.Sim.counters.Tb_sim.Counters.client_misses + 1;
+      Tb_sim.Sim.charge_rpc t.sim ~pages:1;
+      let page = fetch_from_server t id in
+      client_add t id page;
+      page
+
+let fetch_for_write t id =
+  let page = fetch t id in
+  Page_layout.set_dirty page true;
+  page
+
+let flush t =
+  (* Client-side dirty pages cost an RPC each on their way down. *)
+  Buffer_pool.iter t.client (fun _id page ->
+      if Page_layout.dirty page then begin
+        Tb_sim.Sim.charge_rpc t.sim ~pages:1;
+        write_to_disk t page
+      end);
+  Buffer_pool.iter t.server (fun _id page -> write_to_disk t page)
+
+let clear t =
+  flush t;
+  Buffer_pool.clear t.client;
+  Buffer_pool.clear t.server

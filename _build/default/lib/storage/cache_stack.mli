@@ -1,0 +1,43 @@
+(** The two-tier O2 cache architecture: client cache over server cache over
+    disk.
+
+    A page touch goes client → (RPC) → server → (I/O) → disk, charging the
+    simulated clock at each boundary it crosses; this is how the paper's
+    [RPCsnumber], [SC2CCreadpages] and [D2SCreadpages] statistics arise.
+    Section 3.2's observation that "the number of IOs depends on the largest
+    cache size, independently of its function" is an emergent property of
+    this stack.
+
+    Dirty pages written by the client are shipped back on eviction (one RPC)
+    and reach the disk when the server in turn evicts them, or at [flush].
+
+    [clear] models the server shutdown the authors perform between runs so
+    every query starts cold. *)
+
+type t
+
+val create :
+  Tb_sim.Sim.t -> Disk.t -> server_pages:int -> client_pages:int -> t
+
+(** Capacities, in pages. *)
+val server_capacity : t -> int
+
+val client_capacity : t -> int
+
+(** [fetch t id] brings the page to the client cache (charging whatever
+    boundaries it crosses) and returns it. *)
+val fetch : t -> Page_id.t -> Page_layout.t
+
+(** Like [fetch], and marks the page dirty. *)
+val fetch_for_write : t -> Page_id.t -> Page_layout.t
+
+(** Push every dirty page down to disk, charging writes. *)
+val flush : t -> unit
+
+(** [flush] then drop both caches: cold restart. *)
+val clear : t -> unit
+
+(** The underlying disk (for file allocation). *)
+val disk : t -> Disk.t
+
+val sim : t -> Tb_sim.Sim.t

@@ -1,0 +1,54 @@
+type file = {
+  name : string;
+  mutable pages : Page_layout.t array;
+  mutable n_pages : int;
+}
+
+type t = { sim : Tb_sim.Sim.t; mutable files : file list; mutable n_files : int }
+
+let create sim = { sim; files = []; n_files = 0 }
+let page_size t = t.sim.Tb_sim.Sim.cost.Tb_sim.Cost_model.page_size
+
+let new_file t ~name =
+  let id = t.n_files in
+  t.files <- t.files @ [ { name; pages = [||]; n_pages = 0 } ];
+  t.n_files <- id + 1;
+  id
+
+let file_count t = t.n_files
+
+let get_file t id =
+  if id < 0 || id >= t.n_files then invalid_arg "Disk: bad file id";
+  List.nth t.files id
+
+let file_name t id = (get_file t id).name
+
+let find_file t ~name =
+  let rec go i = function
+    | [] -> None
+    | f :: rest -> if String.equal f.name name then Some i else go (i + 1) rest
+  in
+  go 0 t.files
+
+let page_count t id = (get_file t id).n_pages
+
+let page t (pid : Page_id.t) =
+  let f = get_file t pid.Page_id.file in
+  if pid.Page_id.index < 0 || pid.Page_id.index >= f.n_pages then
+    invalid_arg "Disk.page: no such page";
+  f.pages.(pid.Page_id.index)
+
+let append_page t ~file =
+  let f = get_file t file in
+  if f.n_pages = Array.length f.pages then begin
+    let cap = max 8 (2 * Array.length f.pages) in
+    let fresh = Array.make cap (Page_layout.create ~size:(page_size t)) in
+    Array.blit f.pages 0 fresh 0 f.n_pages;
+    f.pages <- fresh
+  end;
+  f.pages.(f.n_pages) <- Page_layout.create ~size:(page_size t);
+  f.n_pages <- f.n_pages + 1;
+  f.n_pages - 1
+
+let total_pages t = List.fold_left (fun acc f -> acc + f.n_pages) 0 t.files
+let total_bytes t = total_pages t * page_size t

@@ -1,0 +1,40 @@
+(** The simulated disk: a set of files, each an extendable array of slotted
+    pages.
+
+    The disk is the authoritative store.  It charges nothing by itself —
+    I/O costs are charged by the buffer layer ({!Cache_stack}) when pages
+    actually cross the disk/server-cache boundary, mirroring how the paper
+    counts [D2SCreadpages]. *)
+
+type t
+
+val create : Tb_sim.Sim.t -> t
+
+(** Page size in bytes (from the cost model; 4K in the paper). *)
+val page_size : t -> int
+
+(** [new_file t ~name] allocates an empty file and returns its id. *)
+val new_file : t -> name:string -> int
+
+val file_count : t -> int
+val file_name : t -> int -> string
+
+(** [find_file t ~name] is the id of the file named [name], if any. *)
+val find_file : t -> name:string -> int option
+
+(** Number of pages currently allocated to a file. *)
+val page_count : t -> int -> int
+
+(** [page t id] is the in-memory image of that page. Raises
+    [Invalid_argument] if the page does not exist. *)
+val page : t -> Page_id.t -> Page_layout.t
+
+(** [append_page t ~file] allocates a fresh page at the end of [file] and
+    returns its index. *)
+val append_page : t -> file:int -> int
+
+(** Total pages across all files (the "buy big!" arithmetic of §3.1). *)
+val total_pages : t -> int
+
+(** Total bytes of allocated pages. *)
+val total_bytes : t -> int

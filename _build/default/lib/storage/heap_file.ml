@@ -1,0 +1,167 @@
+(* On-page record framing: one tag byte then the payload.
+   tag 0 = ordinary record: body follows;
+   tag 1 = forwarding stub: 8-byte target Rid follows;
+   tag 2 = relocated body: 8-byte home Rid, then the body.
+   A record relocated by a growing update is thus visible both at its home
+   slot (as a stub) and at its new location (as a relocated body that still
+   knows its home Rid), so scans can present it under its physical
+   identifier of record. Chains never exceed one hop. *)
+
+let tag_normal = '\000'
+let tag_forward = '\001'
+let tag_relocated = '\002'
+
+type t = {
+  stack : Cache_stack.t;
+  file : int;
+  mutable tail : int; (* page currently receiving inserts; -1 when empty *)
+}
+
+let create stack ~name =
+  let file = Disk.new_file (Cache_stack.disk stack) ~name in
+  { stack; file; tail = -1 }
+
+let of_file stack ~file =
+  { stack; file; tail = Disk.page_count (Cache_stack.disk stack) file - 1 }
+
+let file_id t = t.file
+let page_count t = Disk.page_count (Cache_stack.disk t.stack) t.file
+let cache t = t.stack
+
+let fill_limit t =
+  let cost = (Cache_stack.sim t.stack).Tb_sim.Sim.cost in
+  int_of_float
+    (float_of_int cost.Tb_sim.Cost_model.page_size
+    *. cost.Tb_sim.Cost_model.page_fill)
+
+let frame_normal body =
+  let b = Bytes.create (1 + Bytes.length body) in
+  Bytes.set b 0 tag_normal;
+  Bytes.blit body 0 b 1 (Bytes.length body);
+  b
+
+let frame_stub target =
+  let b = Bytes.create (1 + Rid.on_disk_bytes) in
+  Bytes.set b 0 tag_forward;
+  Bytes.blit (Rid.encode target) 0 b 1 Rid.on_disk_bytes;
+  b
+
+let frame_relocated ~home body =
+  let b = Bytes.create (1 + Rid.on_disk_bytes + Bytes.length body) in
+  Bytes.set b 0 tag_relocated;
+  Bytes.blit (Rid.encode home) 0 b 1 Rid.on_disk_bytes;
+  Bytes.blit body 0 b (1 + Rid.on_disk_bytes) (Bytes.length body);
+  b
+
+let body_of framed =
+  match Bytes.get framed 0 with
+  | c when c = tag_normal -> Bytes.sub framed 1 (Bytes.length framed - 1)
+  | c when c = tag_relocated ->
+      let skip = 1 + Rid.on_disk_bytes in
+      Bytes.sub framed skip (Bytes.length framed - skip)
+  | _ -> invalid_arg "Heap_file: not a body record"
+
+let fresh_page t =
+  let index = Disk.append_page (Cache_stack.disk t.stack) ~file:t.file in
+  t.tail <- index;
+  let pid = Page_id.make ~file:t.file ~index in
+  (index, Cache_stack.fetch_for_write t.stack pid)
+
+(* Insert a framed record, preferring the tail page below the fill target. *)
+let insert_framed t framed =
+  let len = Bytes.length framed in
+  let try_page index =
+    let pid = Page_id.make ~file:t.file ~index in
+    let page = Cache_stack.fetch_for_write t.stack pid in
+    let used =
+      Page_layout.live_bytes page + (4 * Page_layout.slot_count page)
+    in
+    if used + len + 4 <= fill_limit t then Page_layout.insert page framed
+    else None
+  in
+  let index, slot =
+    match if t.tail >= 0 then try_page t.tail else None with
+    | Some slot -> (t.tail, slot)
+    | None ->
+        let index, page = fresh_page t in
+        let slot =
+          match Page_layout.insert page framed with
+          | Some s -> s
+          | None -> failwith "Heap_file.insert: record larger than a page"
+        in
+        (index, slot)
+  in
+  Rid.make ~file:t.file ~page:index ~slot
+
+let insert t body = insert_framed t (frame_normal body)
+
+let fetch_slot t (rid : Rid.t) =
+  let pid = Page_id.make ~file:rid.Rid.file ~index:rid.Rid.page in
+  let page = Cache_stack.fetch t.stack pid in
+  (page, Page_layout.read page rid.Rid.slot)
+
+let read t rid =
+  let _, framed = fetch_slot t rid in
+  if Bytes.get framed 0 = tag_forward then
+    let target = Rid.decode framed ~pos:1 in
+    let _, framed' = fetch_slot t target in
+    body_of framed'
+  else body_of framed
+
+let write_for t (rid : Rid.t) =
+  let pid = Page_id.make ~file:rid.Rid.file ~index:rid.Rid.page in
+  Cache_stack.fetch_for_write t.stack pid
+
+(* Relocate [body] elsewhere and point [home]'s slot at it. *)
+let relocate t ~(home : Rid.t) body =
+  let fresh = insert_framed t (frame_relocated ~home body) in
+  let page = write_for t home in
+  if not (Page_layout.update page home.Rid.slot (frame_stub fresh)) then
+    failwith "Heap_file: cannot write forwarding stub"
+
+let update t (rid : Rid.t) body =
+  let page = write_for t rid in
+  let framed_old = Page_layout.read page rid.Rid.slot in
+  match Bytes.get framed_old 0 with
+  | c when c = tag_normal ->
+      if not (Page_layout.update page rid.Rid.slot (frame_normal body)) then
+        relocate t ~home:rid body
+  | c when c = tag_forward ->
+      let target = Rid.decode framed_old ~pos:1 in
+      let tpage = write_for t target in
+      let framed = frame_relocated ~home:rid body in
+      if not (Page_layout.update tpage target.Rid.slot framed) then begin
+        Page_layout.delete tpage target.Rid.slot;
+        relocate t ~home:rid body
+      end
+  | _ -> invalid_arg "Heap_file.update: rid addresses a relocated body"
+
+let delete t (rid : Rid.t) =
+  let page = write_for t rid in
+  let framed = Page_layout.read page rid.Rid.slot in
+  if Bytes.get framed 0 = tag_forward then begin
+    let target = Rid.decode framed ~pos:1 in
+    let tpage = write_for t target in
+    Page_layout.delete tpage target.Rid.slot
+  end;
+  Page_layout.delete page rid.Rid.slot
+
+let iter_page_records t ~page:index f =
+  let pid = Page_id.make ~file:t.file ~index in
+  let page = Cache_stack.fetch t.stack pid in
+  Page_layout.iter page (fun slot framed ->
+      match Bytes.get framed 0 with
+      | c when c = tag_normal ->
+          f (Rid.make ~file:t.file ~page:index ~slot) (body_of framed)
+      | c when c = tag_relocated -> f (Rid.decode framed ~pos:1) (body_of framed)
+      | _ -> () (* stubs: their body is visited at its new location *))
+
+let scan t f =
+  for index = 0 to page_count t - 1 do
+    iter_page_records t ~page:index f
+  done
+
+let record_count t =
+  let n = ref 0 in
+  scan t (fun _ _ -> incr n);
+  !n

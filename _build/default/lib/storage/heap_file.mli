@@ -1,0 +1,50 @@
+(** Heap files: variable-length records addressed by {!Rid}.
+
+    A heap file appends records to its tail page up to the fill target (O2
+    "always leaves some extra space to deal with growing strings or
+    collections" — Section 2), so insertion order is physical order.  That
+    single property is what the three clustering strategies of Figure 2
+    exploit: the loader controls placement purely by choosing the order in
+    which it creates objects.
+
+    Records that outgrow their page on update are relocated and a forwarding
+    stub is left at the original Rid, preserving physical identifiers at the
+    cost of an extra hop — the price of updates "resulting in size increase"
+    the paper warns about in Section 5.2. *)
+
+type t
+
+(** [create stack ~name] allocates a fresh file on [stack]'s disk. *)
+val create : Cache_stack.t -> name:string -> t
+
+(** [of_file stack ~file] wraps an existing disk file id. *)
+val of_file : Cache_stack.t -> file:int -> t
+
+val file_id : t -> int
+val page_count : t -> int
+
+(** Live records (excluding forwarding stubs). *)
+val record_count : t -> int
+
+(** [insert t body] appends a record, returns its Rid. *)
+val insert : t -> bytes -> Rid.t
+
+(** [read t rid] fetches the record body, following at most one forwarding
+    hop. Raises [Not_found] on a dead Rid. *)
+val read : t -> Rid.t -> bytes
+
+(** [update t rid body] rewrites the record; relocates and leaves a
+    forwarding stub when the body no longer fits near its page. *)
+val update : t -> Rid.t -> bytes -> unit
+
+(** [delete t rid] removes the record (and its relocated body if any). *)
+val delete : t -> Rid.t -> unit
+
+(** [scan t f] visits every live record in physical order — the sequential
+    access path. Forwarded bodies are visited at their *original* Rid. *)
+val scan : t -> (Rid.t -> bytes -> unit) -> unit
+
+(** [iter_page_records t ~page f] visits the live records of one page. *)
+val iter_page_records : t -> page:int -> (Rid.t -> bytes -> unit) -> unit
+
+val cache : t -> Cache_stack.t

@@ -1,0 +1,11 @@
+type t = { file : int; index : int }
+
+let make ~file ~index = { file; index }
+
+let compare a b =
+  let c = Int.compare a.file b.file in
+  if c <> 0 then c else Int.compare a.index b.index
+
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash (t.file, t.index)
+let pp ppf t = Format.fprintf ppf "%d/%d" t.file t.index

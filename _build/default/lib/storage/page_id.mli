@@ -1,0 +1,9 @@
+(** Identity of one page: which file, which page index within it. *)
+
+type t = { file : int; index : int }
+
+val make : file:int -> index:int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+(** Slotted-page layout.
+
+    Classic variable-length record page: a small header, record bodies
+    growing up from the front, and a slot directory growing down from the
+    back.  All metadata lives inside the page bytes, so a page is exactly
+    what the simulated disk stores and the buffer pools ship around.
+
+    Slots are stable: a record keeps its slot number for life (its Rid is a
+    physical address), deletion leaves a dead slot that later insertions may
+    reuse, and in-place updates that no longer fit are the caller's problem
+    (heap files relocate the body and leave a forwarding stub — the price of
+    O2's growable strings and collections that Section 5.2 mentions). *)
+
+type t
+
+(** [create ~size] is an empty page of [size] bytes. [size] must be at least
+    64 and at most 65528 (offsets are 16-bit). *)
+val create : size:int -> t
+
+val size : t -> int
+val dirty : t -> bool
+val set_dirty : t -> bool -> unit
+
+(** Number of slot-directory entries (live or dead). *)
+val slot_count : t -> int
+
+(** Number of live records. *)
+val live_count : t -> int
+
+(** Bytes a fresh insert of length [len] would need right now, accounting
+    for slot reuse; [None] when it cannot fit even after compaction. *)
+val fits : t -> int -> bool
+
+(** Free bytes available to new records after compaction (not counting the
+    directory entry a brand-new slot would need). *)
+val free_bytes : t -> int
+
+(** Bytes occupied by live record bodies. *)
+val live_bytes : t -> int
+
+(** [insert t body] stores [body] and returns its slot, or [None] if the
+    page is full. Compacts transparently when fragmentation is the only
+    obstacle. Raises [Invalid_argument] on an empty or oversized body. *)
+val insert : t -> bytes -> int option
+
+(** [read t slot] is a copy of the record body.
+    Raises [Not_found] for dead or out-of-range slots. *)
+val read : t -> int -> bytes
+
+(** [delete t slot] frees the slot (idempotent on dead slots within range).
+    Raises [Not_found] if out of range. *)
+val delete : t -> int -> unit
+
+(** [update t slot body] rewrites the record in place, possibly moving it
+    within the page; [false] if the new body cannot fit on this page (the
+    slot is left unchanged in that case).
+    Raises [Not_found] for dead or out-of-range slots. *)
+val update : t -> int -> bytes -> bool
+
+(** [iter t f] applies [f slot body] to every live record in slot order. *)
+val iter : t -> (int -> bytes -> unit) -> unit
+
+(** Internal-consistency check for tests: directory within bounds, no record
+    overlap, free space arithmetic coherent. Raises [Failure] on violation. *)
+val check_invariants : t -> unit

@@ -1,0 +1,44 @@
+type t = { file : int; page : int; slot : int }
+
+let make ~file ~page ~slot = { file; page; slot }
+let nil = { file = -1; page = -1; slot = -1 }
+let is_nil t = t.file < 0
+
+let compare a b =
+  let c = Int.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.page b.page in
+    if c <> 0 then c else Int.compare a.slot b.slot
+
+let equal a b = compare a b = 0
+let hash t = Hashtbl.hash (t.file, t.page, t.slot)
+
+(* 2 bytes of file id, 4 of page number, 2 of slot: 8 bytes, as in the
+   paper's size accounting. Nil encodes as all-ones. *)
+let on_disk_bytes = 8
+
+let encode t =
+  let b = Bytes.create on_disk_bytes in
+  if is_nil t then Bytes.fill b 0 on_disk_bytes '\xff'
+  else begin
+    Bytes.set_uint16_le b 0 t.file;
+    Bytes.set_int32_le b 2 (Int32.of_int t.page);
+    Bytes.set_uint16_le b 6 t.slot
+  end;
+  b
+
+let decode b ~pos =
+  if Bytes.get b pos = '\xff' && Bytes.get b (pos + 1) = '\xff' then nil
+  else
+    {
+      file = Bytes.get_uint16_le b pos;
+      page = Int32.to_int (Bytes.get_int32_le b (pos + 2));
+      slot = Bytes.get_uint16_le b (pos + 6);
+    }
+
+let pp ppf t =
+  if is_nil t then Format.pp_print_string ppf "@nil"
+  else Format.fprintf ppf "@%d:%d.%d" t.file t.page t.slot
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,33 @@
+(** Physical record identifiers.
+
+    O2's internal [Rid] type is a physical disk address (the [@p1], [@d2]
+    markers of Figure 2).  The paper's join study deliberately targets
+    physical identifiers (in contrast to the logical OIDs of Braumandl et
+    al.), so a Rid here is exactly a (file, page, slot) triple.  Rids order
+    by physical position — sorting Rids before fetching is the Section 4.2
+    optimization that makes unclustered index scans sequential. *)
+
+type t = { file : int; page : int; slot : int }
+
+val make : file:int -> page:int -> slot:int -> t
+
+(** A sentinel used for "nil" references (a retired doctor's patients...). *)
+val nil : t
+
+val is_nil : t -> bool
+
+(** Physical order: file, then page, then slot. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** Bytes a Rid occupies on disk (the paper counts 8 per identifier). *)
+val on_disk_bytes : int
+
+(** Fixed-width binary encoding, [on_disk_bytes] long. *)
+val encode : t -> bytes
+
+val decode : bytes -> pos:int -> t
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/store/big_collection.ml: Bytes Codec List Tb_storage

@@ -1,0 +1,1 @@
+lib/store/big_collection.mli: Tb_storage Value

@@ -1,0 +1,1 @@
+lib/store/btree.ml: Array Bytes Int Int32 Int64 List Tb_sim Tb_storage

@@ -1,0 +1,1 @@
+lib/store/codec.ml: Bytes Int32 Int64 List String Tb_storage Value

@@ -1,0 +1,1 @@
+lib/store/database.ml: Big_collection Btree Bytes Codec Handle Handle_table Hashtbl Index_def List Obj_header Schema String Tb_sim Tb_storage Transaction Value

@@ -1,0 +1,1 @@
+lib/store/database.mli: Handle Handle_table Index_def Obj_header Schema Tb_sim Tb_storage Transaction Value

@@ -1,0 +1,1 @@
+lib/store/handle.ml: Tb_storage Value

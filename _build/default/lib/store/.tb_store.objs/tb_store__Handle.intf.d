@@ -1,0 +1,1 @@
+lib/store/handle.mli: Tb_storage Value

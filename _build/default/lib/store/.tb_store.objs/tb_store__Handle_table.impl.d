@@ -1,0 +1,1 @@
+lib/store/handle_table.ml: Handle Hashtbl Queue Tb_sim Tb_storage

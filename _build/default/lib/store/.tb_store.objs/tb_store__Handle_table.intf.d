@@ -1,0 +1,1 @@
+lib/store/handle_table.mli: Handle Tb_sim Tb_storage Value

@@ -1,0 +1,1 @@
+lib/store/index_def.ml: Array Btree Float

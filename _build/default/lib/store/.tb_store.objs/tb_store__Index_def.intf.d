@@ -1,0 +1,1 @@
+lib/store/index_def.mli: Btree

@@ -1,0 +1,1 @@
+lib/store/obj_header.ml: Array Bytes Option

@@ -1,0 +1,1 @@
+lib/store/schema.ml: Array Format List String Value

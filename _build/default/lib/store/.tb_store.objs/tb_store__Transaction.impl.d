@@ -1,0 +1,1 @@
+lib/store/transaction.ml: Tb_sim Tb_storage

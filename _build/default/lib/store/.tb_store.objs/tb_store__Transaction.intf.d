@@ -1,0 +1,1 @@
+lib/store/transaction.mli: Tb_sim Tb_storage

@@ -1,0 +1,1 @@
+lib/store/value.ml: Bool Char Float Format Int List String Tb_storage

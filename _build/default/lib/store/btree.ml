@@ -1,0 +1,504 @@
+(* One node per page, stored as record 0 of the page.
+
+   Leaf encoding:     u8 1 | i32 next_page | u16 n | n * (i64 key, 8B rid)
+   Internal encoding: u8 0 | u16 n | (n+1) * i32 child | n * (i64 key, 8B rid)
+
+   Entries and separators are (key, rid) pairs under lexicographic order, so
+   the tree never contains equal keys internally; child_i of an internal
+   node covers entries e with sep_(i-1) <= e < sep_i. *)
+
+module Rid = Tb_storage.Rid
+
+type entry = { key : int; rid : Rid.t }
+
+type node =
+  | Leaf of { next : int; entries : entry array }
+  | Internal of { children : int array; seps : entry array }
+
+type t = {
+  stack : Tb_storage.Cache_stack.t;
+  file : int;
+  name : string;
+  mutable root : int;
+  mutable entries : int;
+}
+
+let leaf_cap = 200
+let internal_cap = 150
+
+let cmp_entry a b =
+  let c = Int.compare a.key b.key in
+  if c <> 0 then c else Rid.compare a.rid b.rid
+
+(* --- node serialization --- *)
+
+let entry_bytes = 16
+
+let encode_node node =
+  match node with
+  | Leaf { next; entries } ->
+      let b = Bytes.create (7 + (entry_bytes * Array.length entries)) in
+      Bytes.set_uint8 b 0 1;
+      Bytes.set_int32_le b 1 (Int32.of_int next);
+      Bytes.set_uint16_le b 5 (Array.length entries);
+      Array.iteri
+        (fun i e ->
+          let pos = 7 + (entry_bytes * i) in
+          Bytes.set_int64_le b pos (Int64.of_int e.key);
+          Bytes.blit (Rid.encode e.rid) 0 b (pos + 8) 8)
+        entries;
+      b
+  | Internal { children; seps } ->
+      let n = Array.length seps in
+      assert (Array.length children = n + 1);
+      let b = Bytes.create (3 + (4 * (n + 1)) + (entry_bytes * n)) in
+      Bytes.set_uint8 b 0 0;
+      Bytes.set_uint16_le b 1 n;
+      Array.iteri
+        (fun i c -> Bytes.set_int32_le b (3 + (4 * i)) (Int32.of_int c))
+        children;
+      let base = 3 + (4 * (n + 1)) in
+      Array.iteri
+        (fun i e ->
+          let pos = base + (entry_bytes * i) in
+          Bytes.set_int64_le b pos (Int64.of_int e.key);
+          Bytes.blit (Rid.encode e.rid) 0 b (pos + 8) 8)
+        seps;
+      b
+
+let decode_node b =
+  let read_entry pos =
+    {
+      key = Int64.to_int (Bytes.get_int64_le b pos);
+      rid = Rid.decode b ~pos:(pos + 8);
+    }
+  in
+  if Bytes.get_uint8 b 0 = 1 then begin
+    let next = Int32.to_int (Bytes.get_int32_le b 1) in
+    let n = Bytes.get_uint16_le b 5 in
+    Leaf { next; entries = Array.init n (fun i -> read_entry (7 + (entry_bytes * i))) }
+  end
+  else begin
+    let n = Bytes.get_uint16_le b 1 in
+    let children =
+      Array.init (n + 1) (fun i -> Int32.to_int (Bytes.get_int32_le b (3 + (4 * i))))
+    in
+    let base = 3 + (4 * (n + 1)) in
+    Internal { children; seps = Array.init n (fun i -> read_entry (base + (entry_bytes * i))) }
+  end
+
+(* --- page access --- *)
+
+let page_for t index writable =
+  let pid = Tb_storage.Page_id.make ~file:t.file ~index in
+  if writable then Tb_storage.Cache_stack.fetch_for_write t.stack pid
+  else Tb_storage.Cache_stack.fetch t.stack pid
+
+let read_node t index =
+  decode_node (Tb_storage.Page_layout.read (page_for t index false) 0)
+
+let write_node t index node =
+  let page = page_for t index true in
+  let b = encode_node node in
+  if Tb_storage.Page_layout.slot_count page = 0 then
+    match Tb_storage.Page_layout.insert page b with
+    | Some 0 -> ()
+    | Some _ | None -> failwith "Btree: node page corrupt"
+  else if not (Tb_storage.Page_layout.update page 0 b) then
+    failwith "Btree: node exceeds page"
+
+let alloc_node t node =
+  let index =
+    Tb_storage.Disk.append_page (Tb_storage.Cache_stack.disk t.stack) ~file:t.file
+  in
+  write_node t index node;
+  index
+
+let create stack ~name =
+  let file = Tb_storage.Disk.new_file (Tb_storage.Cache_stack.disk stack) ~name in
+  let t = { stack; file; name; root = 0; entries = 0 } in
+  t.root <- alloc_node t (Leaf { next = -1; entries = [||] });
+  t
+
+let name t = t.name
+let entry_count t = t.entries
+
+let page_count t =
+  Tb_storage.Disk.page_count (Tb_storage.Cache_stack.disk t.stack) t.file
+
+let sim t = Tb_storage.Cache_stack.sim t.stack
+
+(* Binary search: index of the first element of [arr] strictly greater than
+   [e]; charges the comparisons it performs. *)
+let upper_bound t arr e =
+  let cmps = ref 0 in
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr cmps;
+    if cmp_entry e arr.(mid) < 0 then hi := mid else lo := mid + 1
+  done;
+  Tb_sim.Sim.charge_compare (sim t) !cmps;
+  !lo
+
+(* Position of the first element >= e. *)
+let lower_bound t arr e =
+  let cmps = ref 0 in
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    incr cmps;
+    if cmp_entry arr.(mid) e < 0 then lo := mid + 1 else hi := mid
+  done;
+  Tb_sim.Sim.charge_compare (sim t) !cmps;
+  !lo
+
+let array_insert arr pos x =
+  let n = Array.length arr in
+  Array.init (n + 1) (fun i ->
+      if i < pos then arr.(i) else if i = pos then x else arr.(i - 1))
+
+let array_remove arr pos =
+  let n = Array.length arr in
+  Array.init (n - 1) (fun i -> if i < pos then arr.(i) else arr.(i + 1))
+
+(* --- insertion --- *)
+
+type split = No_split | Split of entry * int (* separator, right page *)
+
+let rec ins t index e =
+  match read_node t index with
+  | Leaf { next; entries } ->
+      let pos = lower_bound t entries e in
+      if pos < Array.length entries && cmp_entry entries.(pos) e = 0 then
+        No_split (* duplicate (key, rid): ignored *)
+      else begin
+        let entries = array_insert entries pos e in
+        t.entries <- t.entries + 1;
+        if Array.length entries <= leaf_cap then begin
+          write_node t index (Leaf { next; entries });
+          No_split
+        end
+        else begin
+          let mid = Array.length entries / 2 in
+          let left = Array.sub entries 0 mid in
+          let right = Array.sub entries mid (Array.length entries - mid) in
+          let right_page = alloc_node t (Leaf { next; entries = right }) in
+          write_node t index (Leaf { next = right_page; entries = left });
+          Split (right.(0), right_page)
+        end
+      end
+  | Internal { children; seps } -> (
+      let child_idx = upper_bound t seps e in
+      match ins t children.(child_idx) e with
+      | No_split -> No_split
+      | Split (sep, right_page) ->
+          let seps = array_insert seps child_idx sep in
+          let children = array_insert children (child_idx + 1) right_page in
+          if Array.length seps <= internal_cap then begin
+            write_node t index (Internal { children; seps });
+            No_split
+          end
+          else begin
+            let mid = Array.length seps / 2 in
+            let up = seps.(mid) in
+            let left_seps = Array.sub seps 0 mid in
+            let right_seps = Array.sub seps (mid + 1) (Array.length seps - mid - 1) in
+            let left_children = Array.sub children 0 (mid + 1) in
+            let right_children =
+              Array.sub children (mid + 1) (Array.length children - mid - 1)
+            in
+            let right_page =
+              alloc_node t (Internal { children = right_children; seps = right_seps })
+            in
+            write_node t index (Internal { children = left_children; seps = left_seps });
+            Split (up, right_page)
+          end)
+
+let insert t ~key ~rid =
+  match ins t t.root { key; rid } with
+  | No_split -> ()
+  | Split (sep, right_page) ->
+      let new_root =
+        alloc_node t (Internal { children = [| t.root; right_page |]; seps = [| sep |] })
+      in
+      t.root <- new_root
+
+(* --- lookup --- *)
+
+(* Leaf that may contain the first entry >= e, plus the in-leaf position. *)
+let rec descend t index e =
+  match read_node t index with
+  | Leaf { next; entries } -> (index, next, entries, lower_bound t entries e)
+  | Internal { children; seps } -> descend t children.(upper_bound t seps e) e
+
+(* Walk entries in order starting at the first >= start, while [keep] holds. *)
+let walk_from t start ~keep f =
+  let _, next, entries, pos = descend t t.root start in
+  let rec leaf_loop next entries pos =
+    if pos >= Array.length entries then begin
+      if next >= 0 then
+        match read_node t next with
+        | Leaf { next; entries } -> leaf_loop next entries 0
+        | Internal _ -> failwith "Btree: leaf chain reaches internal node"
+    end
+    else begin
+      let e = entries.(pos) in
+      Tb_sim.Sim.charge_compare (sim t) 1;
+      if keep e then begin
+        f e;
+        leaf_loop next entries (pos + 1)
+      end
+    end
+  in
+  leaf_loop next entries pos
+
+let search t ~key =
+  let acc = ref [] in
+  walk_from t { key; rid = Rid.nil }
+    ~keep:(fun e -> e.key = key)
+    (fun e -> acc := e.rid :: !acc);
+  List.rev !acc
+
+let range t ?lo ?hi f =
+  let start =
+    match lo with Some k -> { key = k; rid = Rid.nil } | None -> { key = min_int; rid = Rid.nil }
+  in
+  let keep e = match hi with Some h -> e.key < h | None -> true in
+  walk_from t start ~keep (fun e -> f e.key e.rid)
+
+let iter t f = range t f
+
+(* --- deletion with rebalancing ---
+
+   Underfull nodes (below half capacity) borrow from a sibling when one can
+   spare an entry, and merge with a sibling otherwise; merges may propagate
+   underflow upward, and an internal root left with a single child is
+   replaced by it (height shrink).  Merged-away pages are simply abandoned
+   (the simulated disk has no free list; O2 reclaimed space on
+   dump-and-reload, Section 2). *)
+
+let min_leaf = leaf_cap / 2
+let min_internal = internal_cap / 2
+
+let internal_parts = function
+  | Internal { children; seps } -> (children, seps)
+  | Leaf _ -> failwith "Btree: expected internal node"
+
+(* Rebalance underfull child [i] of the internal node at [index]; returns
+   the parent's new state. *)
+let fix_child t index i =
+  let children, seps = internal_parts (read_node t index) in
+  let child = read_node t children.(i) in
+  let borrow_from_left () =
+    if i = 0 then false
+    else
+      match (read_node t children.(i - 1), child) with
+      | Leaf left, Leaf right when Array.length left.entries > min_leaf ->
+          let n = Array.length left.entries in
+          let moved = left.entries.(n - 1) in
+          write_node t children.(i - 1)
+            (Leaf { left with entries = Array.sub left.entries 0 (n - 1) });
+          write_node t children.(i)
+            (Leaf { right with entries = array_insert right.entries 0 moved });
+          let seps = Array.copy seps in
+          seps.(i - 1) <- moved;
+          write_node t index (Internal { children; seps });
+          true
+      | Internal left, Internal right
+        when Array.length left.seps > min_internal ->
+          let n = Array.length left.seps in
+          (* Rotate through the parent separator. *)
+          let right' =
+            Internal
+              {
+                children = array_insert right.children 0 left.children.(n);
+                seps = array_insert right.seps 0 seps.(i - 1);
+              }
+          in
+          let seps = Array.copy seps in
+          seps.(i - 1) <- left.seps.(n - 1);
+          write_node t children.(i - 1)
+            (Internal
+               {
+                 children = Array.sub left.children 0 n;
+                 seps = Array.sub left.seps 0 (n - 1);
+               });
+          write_node t children.(i) right';
+          write_node t index (Internal { children; seps });
+          true
+      | _ -> false
+  in
+  let borrow_from_right () =
+    if i >= Array.length children - 1 then false
+    else
+      match (child, read_node t children.(i + 1)) with
+      | Leaf left, Leaf right when Array.length right.entries > min_leaf ->
+          let moved = right.entries.(0) in
+          write_node t children.(i)
+            (Leaf { left with entries = array_insert left.entries (Array.length left.entries) moved });
+          write_node t
+            children.(i + 1)
+            (Leaf { right with entries = array_remove right.entries 0 });
+          let seps = Array.copy seps in
+          seps.(i) <- right.entries.(1);
+          write_node t index (Internal { children; seps });
+          true
+      | Internal left, Internal right
+        when Array.length right.seps > min_internal ->
+          let left' =
+            Internal
+              {
+                children =
+                  array_insert left.children (Array.length left.children)
+                    right.children.(0);
+                seps = array_insert left.seps (Array.length left.seps) seps.(i);
+              }
+          in
+          let seps = Array.copy seps in
+          seps.(i) <- right.seps.(0);
+          write_node t children.(i) left';
+          write_node t
+            children.(i + 1)
+            (Internal
+               {
+                 children = array_remove right.children 0;
+                 seps = array_remove right.seps 0;
+               });
+          write_node t index (Internal { children; seps });
+          true
+      | _ -> false
+  in
+  (* Merge child [l] with child [l+1]. *)
+  let merge l =
+    (match (read_node t children.(l), read_node t children.(l + 1)) with
+    | Leaf left, Leaf right ->
+        write_node t children.(l)
+          (Leaf { next = right.next; entries = Array.append left.entries right.entries })
+    | Internal left, Internal right ->
+        write_node t children.(l)
+          (Internal
+             {
+               children = Array.append left.children right.children;
+               seps =
+                 Array.concat [ left.seps; [| seps.(l) |]; right.seps ];
+             })
+    | _ -> failwith "Btree: sibling arity mismatch");
+    write_node t index
+      (Internal
+         { children = array_remove children (l + 1); seps = array_remove seps l })
+  in
+  if not (borrow_from_left () || borrow_from_right ()) then
+    if i > 0 then merge (i - 1) else merge i
+
+let underfull = function
+  | Leaf { entries; _ } -> Array.length entries < min_leaf
+  | Internal { seps; _ } -> Array.length seps < min_internal
+
+(* Returns (found, now_underfull). *)
+let rec delete_rec t index e =
+  match read_node t index with
+  | Leaf { next; entries } ->
+      let pos = lower_bound t entries e in
+      if pos < Array.length entries && cmp_entry entries.(pos) e = 0 then begin
+        let entries = array_remove entries pos in
+        write_node t index (Leaf { next; entries });
+        (true, Array.length entries < min_leaf)
+      end
+      else (false, false)
+  | Internal { children; seps } ->
+      let i = upper_bound t seps e in
+      let found, under = delete_rec t children.(i) e in
+      if found && under then begin
+        fix_child t index i;
+        (true, underfull (read_node t index))
+      end
+      else (found, false)
+
+let delete t ~key ~rid =
+  let found, _ = delete_rec t t.root { key; rid } in
+  if found then begin
+    t.entries <- t.entries - 1;
+    (* Height shrink: an internal root with a single child is redundant. *)
+    (match read_node t t.root with
+    | Internal { children; seps } when Array.length seps = 0 ->
+        t.root <- children.(0)
+    | Internal _ | Leaf _ -> ())
+  end;
+  found
+
+let clustering_factor t =
+  let in_order = ref 0 and total = ref 0 in
+  let prev = ref None in
+  iter t (fun _ rid ->
+      (match !prev with
+      | Some p -> begin
+          incr total;
+          if Rid.compare p rid <= 0 then incr in_order
+        end
+      | None -> ());
+      prev := Some rid);
+  if !total = 0 then 1.0 else float_of_int !in_order /. float_of_int !total
+
+let key_bounds t =
+  let bounds = ref None in
+  iter t (fun key _ ->
+      bounds :=
+        Some
+          (match !bounds with
+          | None -> (key, key)
+          | Some (lo, hi) -> (min lo key, max hi key)));
+  !bounds
+
+let check_invariants t =
+  let rec check index lo hi =
+    match read_node t index with
+    | Leaf { entries; _ } ->
+        Array.iteri
+          (fun i e ->
+            (match lo with
+            | Some l when cmp_entry e l < 0 -> failwith "btree: entry below bound"
+            | _ -> ());
+            (match hi with
+            | Some h when cmp_entry e h >= 0 -> failwith "btree: entry above bound"
+            | _ -> ());
+            if i > 0 && cmp_entry entries.(i - 1) e >= 0 then
+              failwith "btree: leaf out of order")
+          entries
+    | Internal { children; seps } ->
+        if Array.length children <> Array.length seps + 1 then
+          failwith "btree: child/sep arity";
+        Array.iteri
+          (fun i sep ->
+            if i > 0 && cmp_entry seps.(i - 1) sep >= 0 then
+              failwith "btree: separators out of order")
+          seps;
+        Array.iteri
+          (fun i child ->
+            let lo' = if i = 0 then lo else Some seps.(i - 1) in
+            let hi' = if i = Array.length seps then hi else Some seps.(i) in
+            check child lo' hi')
+          children
+  in
+  (* Occupancy: every non-root node is at least half full. *)
+  let rec occupancy index =
+    if index <> t.root then begin
+      match read_node t index with
+      | Leaf { entries; _ } ->
+          if Array.length entries < min_leaf then failwith "btree: underfull leaf"
+      | Internal { seps; children } ->
+          if Array.length seps < min_internal then
+            failwith "btree: underfull internal node"
+          else Array.iter occupancy children
+    end
+    else
+      match read_node t index with
+      | Leaf _ -> ()
+      | Internal { children; _ } -> Array.iter occupancy children
+  in
+  occupancy t.root;
+  check t.root None None;
+  (* Every entry is reachable through the leaf chain. *)
+  let n = ref 0 in
+  iter t (fun _ _ -> incr n);
+  if !n <> t.entries then failwith "btree: entry count mismatch"

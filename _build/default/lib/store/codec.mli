@@ -1,0 +1,19 @@
+(** Binary encoding of values into heap-file records.
+
+    The encoding follows the paper's size arithmetic: 4 bytes per integer,
+    8 per object reference or address (Section 2), strings as length-prefixed
+    bytes.  Record sizes therefore reproduce the page counts the paper
+    reports (~30 providers / ~57 patients per 4K page). *)
+
+(** [encoded_size v] is the exact number of bytes [encode] will produce. *)
+val encoded_size : Value.t -> int
+
+val encode : Value.t -> bytes
+
+(** [decode b ~pos] reads one value starting at [pos] and returns it with
+    the position one past its encoding.
+    Raises [Invalid_argument] on malformed input. *)
+val decode : bytes -> pos:int -> Value.t * int
+
+(** [decode_exn b] decodes a whole buffer holding exactly one value. *)
+val decode_exn : bytes -> Value.t

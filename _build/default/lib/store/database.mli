@@ -1,0 +1,119 @@
+(** The database façade: schema + files + objects + handles + indexes.
+
+    One [Database.t] is one simulated O2 instance: a disk, a two-tier cache
+    stack, a handle table, a transaction context and a catalog of class
+    files and indexes.  The loader decides which classes share which heap
+    files — that choice *is* the physical organization (class clustering,
+    random, composition) of Figure 2. *)
+
+type t
+
+val create :
+  Tb_sim.Sim.t ->
+  schema:Schema.t ->
+  server_pages:int ->
+  client_pages:int ->
+  ?handle_kind:Tb_sim.Cost_model.handle_kind ->
+  ?zombie_limit:int ->
+  ?txn_mode:Transaction.mode ->
+  ?uncommitted_limit:int ->
+  unit ->
+  t
+
+val sim : t -> Tb_sim.Sim.t
+val schema : t -> Schema.t
+val stack : t -> Tb_storage.Cache_stack.t
+val txn : t -> Transaction.t
+val handles : t -> Handle_table.t
+
+(** The shared file where spilled collections live. *)
+val collections_file : t -> Tb_storage.Heap_file.t
+
+(** {2 Files and classes} *)
+
+(** [new_file t ~name] allocates and registers a heap file. *)
+val new_file : t -> name:string -> Tb_storage.Heap_file.t
+
+(** [bind_class t ~cls file] declares that objects of [cls] are created in
+    [file]. Several classes may share a file (random / composition
+    clustering). *)
+val bind_class : t -> cls:string -> Tb_storage.Heap_file.t -> unit
+
+(** Raises [Not_found] when the class is unbound. *)
+val class_file : t -> cls:string -> Tb_storage.Heap_file.t
+
+(** {2 Objects} *)
+
+(** [insert_object t ~cls value] creates a persistent object and returns its
+    physical identifier.  Sets too large for a page are spilled to the
+    collection file.  [indexed] provisions index slots in the object header
+    even when no index exists yet (the documented way to avoid the
+    first-index reallocation).  Raises [Invalid_argument] if [value] does
+    not conform to the class. *)
+val insert_object : t -> cls:string -> ?indexed:bool -> Value.t -> Tb_storage.Rid.t
+
+(** Low-level read: header and value, bypassing the handle machinery
+    (charges only the page fetches). *)
+val read_object : t -> Tb_storage.Rid.t -> Obj_header.t * Value.t
+
+(** [acquire t rid] yields the object's Handle (see {!Handle_table}). *)
+val acquire : t -> Tb_storage.Rid.t -> Handle.t
+
+val unref : t -> Handle.t -> unit
+
+(** [get_att t h attr] reads one attribute through a Handle, charging the
+    per-attribute CPU cost of Figure 8's [get_att]. *)
+val get_att : t -> Handle.t -> string -> Value.t
+
+val class_name : t -> Handle.t -> string
+
+(** [update_object t rid value] rewrites the object and maintains its
+    indexes. *)
+val update_object : t -> Tb_storage.Rid.t -> Value.t -> unit
+
+val delete_object : t -> Tb_storage.Rid.t -> unit
+
+(** {2 Collections} *)
+
+(** [iter_set t v f] iterates an inline [Set]/[List] or a spilled [Big_set]
+    uniformly. *)
+val iter_set : t -> Value.t -> (Value.t -> unit) -> unit
+
+val set_length : t -> Value.t -> int
+
+(** {2 Indexes} *)
+
+(** [create_index t ~name ~cls ~attr] builds a B+-tree over the class
+    extent.  Objects created without index slots are reallocated on disk to
+    gain them — the Section 3.2 catastrophe; objects created with
+    [~indexed:true] just get their membership recorded. *)
+val create_index : t -> name:string -> cls:string -> attr:string -> Index_def.t
+
+val find_index : t -> cls:string -> attr:string -> Index_def.t option
+val indexes : t -> Index_def.t list
+
+(** [analyze t] rebuilds optimizer statistics (key bounds, clustering
+    factors, equi-width histograms) for every index — the ANALYZE the
+    paper's cost-model project called for. *)
+val analyze : ?buckets:int -> t -> unit
+
+(** {2 Extents} *)
+
+(** [scan_extent t ~cls f] visits the Rids of every live object of [cls] in
+    physical order, fetching data pages as it goes.  Under shared-file
+    organizations this reads pages holding other classes too — exactly the
+    composition-clustering tax of Section 5.3. *)
+val scan_extent : t -> cls:string -> (Tb_storage.Rid.t -> unit) -> unit
+
+val cardinality : t -> cls:string -> int
+
+(** Pages of the file backing [cls] (shared files count whole). *)
+val extent_pages : t -> cls:string -> int
+
+(** {2 Lifecycle} *)
+
+val commit : t -> unit
+
+(** Shut the server down and drop the client's handles: the cold state in
+    which every measured query starts. *)
+val cold_restart : t -> unit

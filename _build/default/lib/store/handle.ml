@@ -1,0 +1,10 @@
+type t = {
+  rid : Tb_storage.Rid.t;
+  class_id : int;
+  mutable value : Value.t;
+  mutable refcount : int;
+  mem_bytes : int;
+}
+
+let make ~rid ~class_id ~value ~mem_bytes =
+  { rid; class_id; value; refcount = 1; mem_bytes }

@@ -1,0 +1,20 @@
+(** In-memory object representatives.
+
+    Section 4 is a post-mortem of these: every object touched by a query
+    gets a Handle — a structure that in O2 carries ~60 bytes of flags,
+    type/version/index pointers and a refcount, and whose allocation and
+    (delayed) destruction dominate the CPU cost of cold associative
+    accesses.  The [kind] (fat vs compact) selects between the measured O2
+    behaviour and the slimmed-down representative the paper proposes in
+    Section 4.4; the ablation bench flips it. *)
+
+type t = {
+  rid : Tb_storage.Rid.t;
+  class_id : int;
+  mutable value : Value.t;
+  mutable refcount : int;
+  mem_bytes : int;  (** accounted against simulated RAM while live *)
+}
+
+val make :
+  rid:Tb_storage.Rid.t -> class_id:int -> value:Value.t -> mem_bytes:int -> t

@@ -1,0 +1,70 @@
+type t = {
+  sim : Tb_sim.Sim.t;
+  kind : Tb_sim.Cost_model.handle_kind;
+  table : (Tb_storage.Rid.t, Handle.t) Hashtbl.t;
+  zombies : Tb_storage.Rid.t Queue.t;
+  zombie_limit : int;
+}
+
+let create sim ~kind ~zombie_limit =
+  if zombie_limit < 0 then invalid_arg "Handle_table.create: zombie_limit";
+  { sim; kind; table = Hashtbl.create 4096; zombies = Queue.create (); zombie_limit }
+
+let kind t = t.kind
+
+let destroy t h =
+  Tb_sim.Sim.charge_handle_free t.sim t.kind;
+  Tb_sim.Sim.release_bytes t.sim h.Handle.mem_bytes;
+  Hashtbl.remove t.table h.Handle.rid
+
+(* Pop zombies until the pool is back under its limit.  Queue entries can be
+   stale (resurrected or re-queued rids); only genuinely unreferenced
+   residents are destroyed. *)
+let trim t =
+  while Queue.length t.zombies > t.zombie_limit do
+    let rid = Queue.pop t.zombies in
+    match Hashtbl.find_opt t.table rid with
+    | Some h when h.Handle.refcount = 0 -> destroy t h
+    | Some _ | None -> ()
+  done
+
+let acquire t rid ~load =
+  match Hashtbl.find_opt t.table rid with
+  | Some h ->
+      Tb_sim.Sim.charge_handle_hit t.sim;
+      h.Handle.refcount <- h.Handle.refcount + 1;
+      h
+  | None ->
+      Tb_sim.Sim.charge_handle_alloc t.sim t.kind;
+      let mem_bytes = Tb_sim.Cost_model.handle_bytes t.sim.Tb_sim.Sim.cost t.kind in
+      Tb_sim.Sim.claim_bytes t.sim mem_bytes;
+      let class_id, value = load () in
+      let h = Handle.make ~rid ~class_id ~value ~mem_bytes in
+      Hashtbl.replace t.table rid h;
+      h
+
+let unreference t h =
+  if h.Handle.refcount <= 0 then
+    invalid_arg "Handle_table.unreference: refcount already zero";
+  h.Handle.refcount <- h.Handle.refcount - 1;
+  if h.Handle.refcount = 0 then begin
+    Queue.push h.Handle.rid t.zombies;
+    trim t
+  end
+
+let find_resident t rid = Hashtbl.find_opt t.table rid
+let resident_count t = Hashtbl.length t.table
+
+let flush t =
+  Hashtbl.iter (fun _ h ->
+      Tb_sim.Sim.charge_handle_free t.sim t.kind;
+      Tb_sim.Sim.release_bytes t.sim h.Handle.mem_bytes) t.table;
+  Hashtbl.reset t.table;
+  Queue.clear t.zombies
+
+let discard t =
+  Hashtbl.iter
+    (fun _ h -> Tb_sim.Sim.release_bytes t.sim h.Handle.mem_bytes)
+    t.table;
+  Hashtbl.reset t.table;
+  Queue.clear t.zombies

@@ -1,0 +1,83 @@
+type t = {
+  id : int;
+  name : string;
+  cls : string;
+  attr : string;
+  tree : Btree.t;
+  mutable clustering : float;
+  mutable lo_key : int;
+  mutable hi_key : int;
+  mutable histogram : histogram option;
+}
+
+and histogram = { bucket_width : int; counts : int array; total : int }
+
+let make ~id ~name ~cls ~attr ~tree =
+  {
+    id;
+    name;
+    cls;
+    attr;
+    tree;
+    clustering = 1.0;
+    lo_key = 0;
+    hi_key = 0;
+    histogram = None;
+  }
+
+let refresh_stats t =
+  t.clustering <- Btree.clustering_factor t.tree;
+  match Btree.key_bounds t.tree with
+  | Some (lo, hi) ->
+      t.lo_key <- lo;
+      t.hi_key <- hi
+  | None ->
+      t.lo_key <- 0;
+      t.hi_key <- 0
+
+let build_histogram t ~buckets =
+  if buckets <= 0 then invalid_arg "Index_def.build_histogram: buckets";
+  refresh_stats t;
+  let span = t.hi_key - t.lo_key + 1 in
+  let bucket_width = max 1 ((span + buckets - 1) / buckets) in
+  let counts = Array.make buckets 0 in
+  let total = ref 0 in
+  Btree.iter t.tree (fun key _ ->
+      let b = min (buckets - 1) ((key - t.lo_key) / bucket_width) in
+      counts.(b) <- counts.(b) + 1;
+      incr total);
+  t.histogram <- Some { bucket_width; counts; total = !total }
+
+let uniform_below t k =
+  if t.hi_key <= t.lo_key then if k > t.lo_key then 1.0 else 0.0
+  else
+    let span = float_of_int (t.hi_key - t.lo_key + 1) in
+    Float.max 0.0 (Float.min 1.0 (float_of_int (k - t.lo_key) /. span))
+
+let histogram_below t h k =
+  if h.total = 0 then 0.0
+  else if k <= t.lo_key then 0.0
+  else begin
+    let offset = k - t.lo_key in
+    let full_buckets = min (Array.length h.counts) (offset / h.bucket_width) in
+    let below = ref 0.0 in
+    for b = 0 to full_buckets - 1 do
+      below := !below +. float_of_int h.counts.(b)
+    done;
+    (* Linear interpolation inside the bucket the boundary falls in. *)
+    if full_buckets < Array.length h.counts then begin
+      let into = offset - (full_buckets * h.bucket_width) in
+      below :=
+        !below
+        +. float_of_int h.counts.(full_buckets)
+           *. float_of_int into /. float_of_int h.bucket_width
+    end;
+    Float.min 1.0 (!below /. float_of_int h.total)
+  end
+
+let selectivity_below t k =
+  match t.histogram with
+  | Some h -> histogram_below t h k
+  | None -> uniform_below t k
+
+let is_clustered t = t.clustering >= 0.8

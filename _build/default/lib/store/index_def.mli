@@ -1,0 +1,40 @@
+(** Index metadata: the catalog entry wrapping a {!Btree}.
+
+    Keeps what the optimizer needs — which class and attribute the index
+    covers, key bounds for uniform selectivity estimates, and the measured
+    clustering factor (how well key order tracks physical order). *)
+
+type t = {
+  id : int;
+  name : string;
+  cls : string;
+  attr : string;
+  tree : Btree.t;
+  mutable clustering : float;
+  mutable lo_key : int;
+  mutable hi_key : int;
+  mutable histogram : histogram option;
+}
+
+(** Equi-width histogram over the key domain — the kind of statistic the
+    paper set out to identify for its cost model ("our first task was to
+    find out what statistics the system should maintain"). *)
+and histogram = { bucket_width : int; counts : int array; total : int }
+
+val make : id:int -> name:string -> cls:string -> attr:string -> tree:Btree.t -> t
+
+(** Recompute clustering factor and key bounds by walking the leaves. *)
+val refresh_stats : t -> unit
+
+(** [build_histogram t ~buckets] walks the leaves once and installs an
+    equi-width histogram ([buckets] must be positive). *)
+val build_histogram : t -> buckets:int -> unit
+
+(** [selectivity_below t k] estimates the fraction of entries with
+    key < [k]: from the histogram when one is installed (with linear
+    interpolation inside the boundary bucket), otherwise assuming uniform
+    keys between the recorded bounds. *)
+val selectivity_below : t -> int -> float
+
+(** A clustered index: key order mostly follows physical order. *)
+val is_clustered : t -> bool

@@ -1,0 +1,48 @@
+(** Per-object disk headers.
+
+    Section 3.2's hard truth: when an object becomes persistent inside an
+    indexed collection, O2 gives it a header with room for 8 index entries;
+    objects created unindexed get no such room.  Creating the *first* index
+    after loading therefore reallocates every object on disk — destroying
+    both hours and the carefully imposed physical organization.  We
+    reproduce that exactly: the header's encoded size depends on whether
+    index slots were provisioned, and {!Database.create_index} must rewrite
+    (and possibly relocate) objects whose headers lack slots. *)
+
+type t
+
+(** Slots provisioned when an object is created as a member of an indexed
+    collection. *)
+val default_slot_count : int
+
+(** [create ~class_id ~indexed] — [indexed] provisions
+    [default_slot_count] empty index slots. *)
+val create : class_id:int -> indexed:bool -> t
+
+val class_id : t -> int
+
+(** Index ids this object belongs to. *)
+val indexes : t -> int list
+
+val has_slots : t -> bool
+
+(** [add_index t idx] records membership; grows the slot array beyond
+    {!default_slot_count} when needed ("it can be extended if required").
+    Raises [Invalid_argument] if the header has no slot space at all —
+    the object must be reallocated with a slotted header first. *)
+val add_index : t -> int -> t
+
+val remove_index : t -> int -> t
+
+(** [with_slots t] is [t] with slot space provisioned (used during the
+    reallocation pass). *)
+val with_slots : t -> t
+
+val deleted : t -> bool
+val set_deleted : t -> bool -> t
+
+(** Encoded size in bytes: 4 without slots, [4 + 2*slots] with. *)
+val encoded_size : t -> int
+
+val encode : t -> bytes
+val decode : bytes -> pos:int -> t * int

@@ -1,0 +1,100 @@
+type ty =
+  | TInt
+  | TReal
+  | TBool
+  | TChar
+  | TString
+  | TRef of string
+  | TSet of ty
+  | TList of ty
+  | TTuple of (string * ty) list
+
+type cls = { cls_name : string; attrs : (string * ty) list }
+type t = { classes : cls array; roots : (string * ty) list }
+
+let rec check_ty class_names = function
+  | TInt | TReal | TBool | TChar | TString -> ()
+  | TRef name ->
+      if not (List.mem name class_names) then
+        invalid_arg ("Schema: reference to unknown class " ^ name)
+  | TSet ty | TList ty -> check_ty class_names ty
+  | TTuple fields -> List.iter (fun (_, ty) -> check_ty class_names ty) fields
+
+let make ~classes ~roots =
+  let names = List.map (fun c -> c.cls_name) classes in
+  let rec dup = function
+    | [] -> None
+    | x :: rest -> if List.mem x rest then Some x else dup rest
+  in
+  (match dup names with
+  | Some n -> invalid_arg ("Schema: duplicate class " ^ n)
+  | None -> ());
+  List.iter
+    (fun c -> List.iter (fun (_, ty) -> check_ty names ty) c.attrs)
+    classes;
+  List.iter (fun (_, ty) -> check_ty names ty) roots;
+  { classes = Array.of_list classes; roots }
+
+let classes t = Array.to_list t.classes
+let roots t = t.roots
+
+let find_class t name =
+  match Array.find_opt (fun c -> String.equal c.cls_name name) t.classes with
+  | Some c -> c
+  | None -> raise Not_found
+
+let class_id t name =
+  let rec go i =
+    if i >= Array.length t.classes then raise Not_found
+    else if String.equal t.classes.(i).cls_name name then i
+    else go (i + 1)
+  in
+  go 0
+
+let class_of_id t id =
+  if id < 0 || id >= Array.length t.classes then raise Not_found
+  else t.classes.(id)
+
+let attr_type t ~cls ~attr =
+  let c = find_class t cls in
+  match List.assoc_opt attr c.attrs with
+  | Some ty -> ty
+  | None -> raise Not_found
+
+let rec conforms t ty v =
+  match (ty, v) with
+  | _, Value.Nil -> true
+  | TInt, Value.Int _ -> true
+  | TReal, Value.Real _ -> true
+  | TBool, Value.Bool _ -> true
+  | TChar, Value.Char _ -> true
+  | TString, Value.String _ -> true
+  | TRef _, Value.Ref _ -> true
+  | (TSet _ | TList _), Value.Big_set _ -> true
+  | TSet ty, Value.Set xs | TList ty, Value.List xs ->
+      List.for_all (conforms t ty) xs
+  | TTuple fields, Value.Tuple vs ->
+      List.length fields = List.length vs
+      && List.for_all2
+           (fun (n, ty) (n', v) -> String.equal n n' && conforms t ty v)
+           fields vs
+  | ( ( TInt | TReal | TBool | TChar | TString | TRef _ | TSet _ | TList _
+      | TTuple _ ),
+      _ ) ->
+      false
+
+let rec pp_ty ppf = function
+  | TInt -> Format.pp_print_string ppf "integer"
+  | TReal -> Format.pp_print_string ppf "real"
+  | TBool -> Format.pp_print_string ppf "boolean"
+  | TChar -> Format.pp_print_string ppf "char"
+  | TString -> Format.pp_print_string ppf "string"
+  | TRef c -> Format.pp_print_string ppf c
+  | TSet ty -> Format.fprintf ppf "set(%a)" pp_ty ty
+  | TList ty -> Format.fprintf ppf "list(%a)" pp_ty ty
+  | TTuple fields ->
+      Format.fprintf ppf "tuple(@[%a@])"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+           (fun ppf (n, ty) -> Format.fprintf ppf "%s: %a" n pp_ty ty))
+        fields

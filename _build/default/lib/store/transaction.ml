@@ -1,0 +1,45 @@
+type mode = Standard | Load_off
+
+exception Out_of_memory
+
+type t = {
+  sim : Tb_sim.Sim.t;
+  mutable mode : mode;
+  mutable uncommitted : int;
+  mutable log_bytes_pending : int;
+  uncommitted_limit : int;
+}
+
+let create sim mode ~uncommitted_limit =
+  if uncommitted_limit <= 0 then invalid_arg "Transaction.create: limit";
+  { sim; mode; uncommitted = 0; log_bytes_pending = 0; uncommitted_limit }
+
+let mode t = t.mode
+let set_mode t m = t.mode <- m
+let uncommitted t = t.uncommitted
+
+let on_write t ~bytes =
+  match t.mode with
+  | Load_off -> ()
+  | Standard ->
+      t.uncommitted <- t.uncommitted + 1;
+      if t.uncommitted > t.uncommitted_limit then raise Out_of_memory;
+      (* Before/after images go to the log; charge a write per filled log
+         page. *)
+      t.log_bytes_pending <- t.log_bytes_pending + (2 * bytes);
+      let page = t.sim.Tb_sim.Sim.cost.Tb_sim.Cost_model.page_size in
+      while t.log_bytes_pending >= page do
+        Tb_sim.Sim.charge_disk_write t.sim;
+        t.log_bytes_pending <- t.log_bytes_pending - page
+      done
+
+let commit t stack =
+  (match t.mode with
+  | Standard ->
+      if t.log_bytes_pending > 0 then begin
+        Tb_sim.Sim.charge_disk_write t.sim;
+        t.log_bytes_pending <- 0
+      end
+  | Load_off -> ());
+  Tb_storage.Cache_stack.flush stack;
+  t.uncommitted <- 0

@@ -1,0 +1,37 @@
+(** Transaction management: standard mode vs the "transaction-off" loading
+    mode.
+
+    Section 3.2's loading lessons, reproduced:
+    - in standard mode every write is logged (costing I/O) and uncommitted
+      objects pile up in memory until the famous "out of memory" — the
+      loader must commit every few thousand objects;
+    - the transaction-off mode drops the log and the locks, which is how a
+      1 GB load gets from 12 hours toward 1. *)
+
+type mode =
+  | Standard  (** log maintained, bounded uncommitted set *)
+  | Load_off  (** the O2 transaction-off loading mode *)
+
+exception Out_of_memory
+(** Raised in [Standard] mode when too many objects are created without
+    committing. *)
+
+type t
+
+(** [create sim mode ~uncommitted_limit] — the limit is the number of
+    uncommitted object creations/updates tolerated before
+    {!Out_of_memory}. *)
+val create : Tb_sim.Sim.t -> mode -> uncommitted_limit:int -> t
+
+val mode : t -> mode
+val set_mode : t -> mode -> unit
+val uncommitted : t -> int
+
+(** [on_write t ~bytes] accounts one object creation or update of [bytes]
+    encoded size.  In [Standard] mode this charges log I/O (one page write
+    per page worth of log) and may raise {!Out_of_memory}. *)
+val on_write : t -> bytes:int -> unit
+
+(** [commit t stack] flushes dirty pages and releases the uncommitted set.
+    Charges the flush. *)
+val commit : t -> Tb_storage.Cache_stack.t -> unit

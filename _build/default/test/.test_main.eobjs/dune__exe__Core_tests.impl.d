@@ -1,0 +1,1 @@
+test/core_tests.ml: Alcotest Array Figures Float Format List Measurement Printf Tb_core Tb_derby Tb_query Tb_sim Tb_statdb

@@ -1,0 +1,1 @@
+test/derby_tests.ml: Alcotest Array Derby Generator List Option Printf Tb_derby Tb_sim Tb_storage Tb_store

@@ -1,0 +1,1 @@
+test/edge_tests.ml: Alcotest Array Bytes Exec Format Gen List Oql_ast Oql_parser Plan Planner Printf QCheck QCheck_alcotest Query_result Tb_derby Tb_query Tb_sim Tb_storage Tb_store

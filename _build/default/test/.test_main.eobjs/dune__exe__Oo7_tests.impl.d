@@ -1,0 +1,1 @@
+test/oo7_tests.ml: Alcotest Array Oo7 Tb_oo7 Tb_sim Tb_store

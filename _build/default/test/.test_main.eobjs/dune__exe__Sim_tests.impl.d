@@ -1,0 +1,1 @@
+test/sim_tests.ml: Alcotest Array Clock Cost_model Counters Fun QCheck QCheck_alcotest Rng Sim Tb_sim

@@ -1,0 +1,1 @@
+test/statdb_tests.ml: Alcotest List Stat_report Stat_schema Stat_store String Tb_query Tb_statdb Tb_store

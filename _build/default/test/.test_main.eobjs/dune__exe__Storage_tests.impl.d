@@ -1,0 +1,1 @@
+test/storage_tests.ml: Alcotest Array Buffer_pool Bytes Cache_stack Char Disk Gen Hashtbl Heap_file List Option Page_id Page_layout Printf QCheck QCheck_alcotest Rid String Tb_sim Tb_storage Test

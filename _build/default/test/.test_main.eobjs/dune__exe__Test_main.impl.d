@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Core_tests Derby_tests Edge_tests Oo7_tests Query_tests Sim_tests Statdb_tests Storage_tests Store_tests

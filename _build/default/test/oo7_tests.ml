@@ -1,0 +1,93 @@
+(* Tests for the miniature 007 workload. *)
+
+open Tb_oo7
+module Database = Tb_store.Database
+module Value = Tb_store.Value
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tiny_counts (cfg : Oo7.config) =
+  let rec complex level =
+    if level <= 1 then cfg.Oo7.assembly_fanout (* base assemblies *)
+    else cfg.Oo7.assembly_fanout * complex (level - 1)
+  in
+  let bases = complex cfg.Oo7.assembly_levels in
+  let composites = bases * cfg.Oo7.components_per_base in
+  let atomics = composites * cfg.Oo7.atomics_per_composite in
+  (bases, composites, atomics)
+
+let test_cardinalities () =
+  let b = Oo7.build Oo7.tiny in
+  let bases, composites, atomics = tiny_counts Oo7.tiny in
+  check_int "base assemblies" bases
+    (Database.cardinality b.Oo7.db ~cls:"BaseAssembly");
+  check_int "composite parts" composites
+    (Database.cardinality b.Oo7.db ~cls:"CompositePart");
+  check_int "atomic parts" atomics
+    (Database.cardinality b.Oo7.db ~cls:"AtomicPart");
+  check_int "rid arrays" atomics (Array.length b.Oo7.atomic_parts)
+
+let test_connection_graph_well_formed () =
+  let b = Oo7.build Oo7.tiny in
+  let db = b.Oo7.db in
+  (* Every atomic part has the configured out-degree, and connections stay
+     inside the database. *)
+  Array.iter
+    (fun rid ->
+      let _, v = Database.read_object db rid in
+      check_int "out-degree" Oo7.tiny.Oo7.connections
+        (Database.set_length db (Value.field v "connections"));
+      Database.iter_set db (Value.field v "connections") (fun r ->
+          let _, cv = Database.read_object db (Value.to_ref r) in
+          check_bool "connection target is an atomic part" true
+            (match Value.field cv "partOf" with Value.Ref _ -> true | _ -> false)))
+    (Array.sub b.Oo7.atomic_parts 0 40)
+
+let test_t1_visits_every_part () =
+  (* The ring connection guarantees every atomic part of every reached
+     composite is visited exactly once. *)
+  let b = Oo7.build Oo7.tiny in
+  let _, _, atomics = tiny_counts Oo7.tiny in
+  check_int "t1 visits all atomic parts" atomics (Oo7.traversal_t1 b)
+
+let test_t1_warm_is_free_of_io () =
+  let b = Oo7.build Oo7.tiny in
+  let sim = Database.sim b.Oo7.db in
+  ignore (Oo7.traversal_t1 b);
+  Tb_sim.Sim.reset sim;
+  ignore (Oo7.traversal_t1 b);
+  check_int "warm traversal: no disk reads" 0
+    sim.Tb_sim.Sim.counters.Tb_sim.Counters.disk_reads;
+  check_bool "warm traversal: almost no allocations" true
+    (sim.Tb_sim.Sim.counters.Tb_sim.Counters.handle_allocs < 50)
+
+let test_query_q_selectivity () =
+  let b = Oo7.build Oo7.tiny in
+  let _, _, atomics = tiny_counts Oo7.tiny in
+  check_int "frac 1.0 counts everything" atomics (Oo7.query_q ~frac:1.0 b);
+  check_int "frac 0.0 counts nothing" 0 (Oo7.query_q ~frac:0.0 b);
+  let half = Oo7.query_q ~frac:0.5 b in
+  check_bool "frac 0.5 near half" true
+    (abs (half - (atomics / 2)) < atomics / 8);
+  check_bool "bad frac rejected" true
+    (match Oo7.query_q ~frac:1.5 b with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_determinism () =
+  let a = Oo7.build Oo7.tiny and b = Oo7.build Oo7.tiny in
+  check_int "same shape" (Array.length a.Oo7.atomic_parts)
+    (Array.length b.Oo7.atomic_parts);
+  check_int "same query answer" (Oo7.query_q ~frac:0.3 a) (Oo7.query_q ~frac:0.3 b)
+
+let suite =
+  [
+    Alcotest.test_case "cardinalities" `Quick test_cardinalities;
+    Alcotest.test_case "connection graph" `Quick test_connection_graph_well_formed;
+    Alcotest.test_case "T1 visits every part" `Quick test_t1_visits_every_part;
+    Alcotest.test_case "warm T1 needs no I/O" `Quick test_t1_warm_is_free_of_io;
+    Alcotest.test_case "associative query selectivity" `Quick
+      test_query_q_selectivity;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

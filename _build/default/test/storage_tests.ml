@@ -1,0 +1,382 @@
+(* Tests for the storage engine: Rids, slotted pages, LRU pools, the
+   two-tier cache stack and heap files. *)
+
+open Tb_storage
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let fresh_stack ?(server = 8) ?(client = 16) () =
+  let sim = Tb_sim.Sim.create (Tb_sim.Cost_model.scaled 100) in
+  let disk = Disk.create sim in
+  (sim, disk, Cache_stack.create sim disk ~server_pages:server ~client_pages:client)
+
+(* --- Rid --- *)
+
+let test_rid_roundtrip () =
+  let rid = Rid.make ~file:3 ~page:123456 ~slot:77 in
+  let decoded = Rid.decode (Rid.encode rid) ~pos:0 in
+  check_bool "roundtrip" true (Rid.equal rid decoded);
+  check_bool "nil roundtrip" true
+    (Rid.is_nil (Rid.decode (Rid.encode Rid.nil) ~pos:0))
+
+let test_rid_order_is_physical () =
+  let a = Rid.make ~file:0 ~page:5 ~slot:9 in
+  let b = Rid.make ~file:0 ~page:6 ~slot:0 in
+  let c = Rid.make ~file:1 ~page:0 ~slot:0 in
+  check_bool "page order" true (Rid.compare a b < 0);
+  check_bool "file order" true (Rid.compare b c < 0)
+
+(* --- Slotted page --- *)
+
+let body s = Bytes.of_string s
+
+let test_page_insert_read () =
+  let p = Page_layout.create ~size:256 in
+  let s0 = Option.get (Page_layout.insert p (body "hello")) in
+  let s1 = Option.get (Page_layout.insert p (body "world!")) in
+  check_string "slot 0" "hello" (Bytes.to_string (Page_layout.read p s0));
+  check_string "slot 1" "world!" (Bytes.to_string (Page_layout.read p s1));
+  check_int "live" 2 (Page_layout.live_count p);
+  Page_layout.check_invariants p
+
+let test_page_delete_and_reuse () =
+  let p = Page_layout.create ~size:256 in
+  let s0 = Option.get (Page_layout.insert p (body "aaaa")) in
+  let _s1 = Option.get (Page_layout.insert p (body "bbbb")) in
+  Page_layout.delete p s0;
+  check_bool "dead read raises" true
+    (match Page_layout.read p s0 with
+    | exception Not_found -> true
+    | _ -> false);
+  let s2 = Option.get (Page_layout.insert p (body "cc")) in
+  check_int "dead slot reused" s0 s2;
+  Page_layout.check_invariants p
+
+let test_page_full () =
+  let p = Page_layout.create ~size:64 in
+  (* 64 bytes: 4 header + per record (10 body + 4 dir) -> at most 4. *)
+  let inserted = ref 0 in
+  (try
+     while true do
+       match Page_layout.insert p (Bytes.make 10 'x') with
+       | Some _ -> incr inserted
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  check_int "fills then refuses" 4 !inserted;
+  Page_layout.check_invariants p
+
+let test_page_compaction_recovers_space () =
+  let p = Page_layout.create ~size:128 in
+  let slots =
+    List.init 5 (fun _ -> Option.get (Page_layout.insert p (Bytes.make 20 'a')))
+  in
+  (* Free alternating slots: contiguous space is tight, total space is not. *)
+  List.iteri (fun i s -> if i mod 2 = 0 then Page_layout.delete p s) slots;
+  check_bool "large insert succeeds via compaction" true
+    (Option.is_some (Page_layout.insert p (Bytes.make 40 'z')));
+  Page_layout.check_invariants p
+
+let test_page_update_in_place_and_grow () =
+  let p = Page_layout.create ~size:256 in
+  let s = Option.get (Page_layout.insert p (body "short")) in
+  check_bool "shrink ok" true (Page_layout.update p s (body "s"));
+  check_string "shrunk" "s" (Bytes.to_string (Page_layout.read p s));
+  check_bool "grow ok" true (Page_layout.update p s (Bytes.make 100 'g'));
+  check_int "grown" 100 (Bytes.length (Page_layout.read p s));
+  let _ = Option.get (Page_layout.insert p (Bytes.make 100 'f')) in
+  check_bool "grow past capacity fails" false
+    (Page_layout.update p s (Bytes.make 200 'g'));
+  check_int "unchanged on failure" 100 (Bytes.length (Page_layout.read p s));
+  Page_layout.check_invariants p
+
+(* Model-based property test: random op sequences against an association
+   list model. *)
+let page_model_test =
+  let open QCheck in
+  let op_gen =
+    Gen.(
+      frequency
+        [
+          (6, map (fun n -> `Insert (max 1 (n mod 60))) nat);
+          (2, map (fun i -> `Delete i) nat);
+          (2, map2 (fun i n -> `Update (i, max 1 (n mod 60))) nat nat);
+        ])
+  in
+  let ops = make Gen.(list_size (int_range 1 120) op_gen) in
+  Test.make ~name:"slotted page behaves like its model" ~count:200 ops
+    (fun ops ->
+      let p = Page_layout.create ~size:512 in
+      let model : (int, bytes) Hashtbl.t = Hashtbl.create 16 in
+      let counter = ref 0 in
+      let payload len =
+        incr counter;
+        Bytes.make len (Char.chr (65 + (!counter mod 26)))
+      in
+      let live_slots () = Hashtbl.fold (fun k _ acc -> k :: acc) model [] in
+      List.iter
+        (fun op ->
+          (match op with
+          | `Insert len -> (
+              let b = payload len in
+              match Page_layout.insert p b with
+              | Some slot ->
+                  if Hashtbl.mem model slot then failwith "slot reused while live";
+                  Hashtbl.replace model slot b
+              | None ->
+                  (* Refusal is only legal when the page really is full. *)
+                  if Page_layout.free_bytes p >= len + 4 then
+                    failwith "refused although it fits")
+          | `Delete i -> (
+              match live_slots () with
+              | [] -> ()
+              | slots ->
+                  let slot = List.nth slots (i mod List.length slots) in
+                  Page_layout.delete p slot;
+                  Hashtbl.remove model slot)
+          | `Update (i, len) -> (
+              match live_slots () with
+              | [] -> ()
+              | slots ->
+                  let slot = List.nth slots (i mod List.length slots) in
+                  let b = payload len in
+                  if Page_layout.update p slot b then Hashtbl.replace model slot b));
+          Page_layout.check_invariants p)
+        ops;
+      (* Final state agrees with the model. *)
+      Hashtbl.iter
+        (fun slot b ->
+          if not (Bytes.equal (Page_layout.read p slot) b) then
+            failwith "content mismatch")
+        model;
+      Page_layout.live_count p = Hashtbl.length model)
+
+(* --- Buffer pool --- *)
+
+let pid i = Page_id.make ~file:0 ~index:i
+let page () = Page_layout.create ~size:64
+
+let test_pool_lru_eviction () =
+  let pool = Buffer_pool.create ~capacity_pages:2 in
+  let p0 = page () and p1 = page () and p2 = page () in
+  check_bool "no victim" true (Buffer_pool.add pool (pid 0) p0 = None);
+  check_bool "no victim" true (Buffer_pool.add pool (pid 1) p1 = None);
+  (* Touch 0 so 1 becomes the LRU. *)
+  ignore (Buffer_pool.find pool (pid 0));
+  (match Buffer_pool.add pool (pid 2) p2 with
+  | Some (vid, _) -> check_bool "evicts LRU (1)" true (Page_id.equal vid (pid 1))
+  | None -> Alcotest.fail "expected eviction");
+  check_bool "0 still in" true (Buffer_pool.mem pool (pid 0));
+  check_bool "1 out" false (Buffer_pool.mem pool (pid 1))
+
+let test_pool_readd_refreshes () =
+  let pool = Buffer_pool.create ~capacity_pages:2 in
+  ignore (Buffer_pool.add pool (pid 0) (page ()));
+  ignore (Buffer_pool.add pool (pid 1) (page ()));
+  ignore (Buffer_pool.add pool (pid 0) (page ()));
+  (match Buffer_pool.add pool (pid 2) (page ()) with
+  | Some (vid, _) -> check_bool "1 was LRU" true (Page_id.equal vid (pid 1))
+  | None -> Alcotest.fail "expected eviction");
+  Buffer_pool.clear pool;
+  check_int "cleared" 0 (Buffer_pool.size pool)
+
+let pool_never_exceeds_capacity =
+  QCheck.Test.make ~name:"pool never exceeds capacity" ~count:100
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 30)))
+    (fun (cap, adds) ->
+      let pool = Buffer_pool.create ~capacity_pages:cap in
+      List.iter (fun i -> ignore (Buffer_pool.add pool (pid i) (page ()))) adds;
+      Buffer_pool.size pool <= cap)
+
+(* --- Cache stack --- *)
+
+let test_stack_charges_layers () =
+  let sim, disk, stack = fresh_stack () in
+  let file = Disk.new_file disk ~name:"f" in
+  let index = Disk.append_page disk ~file in
+  let id = Page_id.make ~file ~index in
+  Tb_sim.Sim.reset sim;
+  ignore (Cache_stack.fetch stack id);
+  let c = sim.Tb_sim.Sim.counters in
+  check_int "first touch misses both caches" 1 c.Tb_sim.Counters.disk_reads;
+  check_int "one rpc" 1 c.Tb_sim.Counters.rpc_count;
+  ignore (Cache_stack.fetch stack id);
+  check_int "second touch is a client hit" 1 c.Tb_sim.Counters.client_hits;
+  check_int "no extra disk read" 1 c.Tb_sim.Counters.disk_reads
+
+let test_stack_server_hit_after_client_eviction () =
+  let sim, disk, stack = fresh_stack ~server:8 ~client:2 () in
+  let file = Disk.new_file disk ~name:"f" in
+  let ids =
+    List.init 3 (fun _ -> Page_id.make ~file ~index:(Disk.append_page disk ~file))
+  in
+  List.iter (fun id -> ignore (Cache_stack.fetch stack id)) ids;
+  (* Page 0 fell out of the 2-page client cache but not the server cache. *)
+  Tb_sim.Sim.reset sim;
+  ignore (Cache_stack.fetch stack (List.hd ids));
+  let c = sim.Tb_sim.Sim.counters in
+  check_int "no disk read" 0 c.Tb_sim.Counters.disk_reads;
+  check_int "served by server" 1 c.Tb_sim.Counters.server_hits;
+  check_int "still one rpc" 1 c.Tb_sim.Counters.rpc_count
+
+let test_stack_cold_after_clear () =
+  let sim, disk, stack = fresh_stack () in
+  let file = Disk.new_file disk ~name:"f" in
+  let id = Page_id.make ~file ~index:(Disk.append_page disk ~file) in
+  ignore (Cache_stack.fetch stack id);
+  Cache_stack.clear stack;
+  Tb_sim.Sim.reset sim;
+  ignore (Cache_stack.fetch stack id);
+  check_int "cold again" 1 sim.Tb_sim.Sim.counters.Tb_sim.Counters.disk_reads
+
+let test_stack_dirty_writeback () =
+  let sim, disk, stack = fresh_stack () in
+  let file = Disk.new_file disk ~name:"f" in
+  let id = Page_id.make ~file ~index:(Disk.append_page disk ~file) in
+  let page = Cache_stack.fetch_for_write stack id in
+  ignore (Page_layout.insert page (Bytes.of_string "dirty"));
+  Tb_sim.Sim.reset sim;
+  Cache_stack.flush stack;
+  check_int "flushed to disk" 1 sim.Tb_sim.Sim.counters.Tb_sim.Counters.disk_writes;
+  Tb_sim.Sim.reset sim;
+  Cache_stack.flush stack;
+  check_int "flush is idempotent" 0
+    sim.Tb_sim.Sim.counters.Tb_sim.Counters.disk_writes
+
+(* --- Heap file --- *)
+
+let test_heap_insert_read_scan () =
+  let _, _, stack = fresh_stack () in
+  let hf = Heap_file.create stack ~name:"heap" in
+  let rids =
+    List.init 100 (fun i -> Heap_file.insert hf (body (Printf.sprintf "rec-%03d" i)))
+  in
+  List.iteri
+    (fun i rid ->
+      check_string "read back"
+        (Printf.sprintf "rec-%03d" i)
+        (Bytes.to_string (Heap_file.read hf rid)))
+    rids;
+  let scanned = ref [] in
+  Heap_file.scan hf (fun rid b -> scanned := (rid, Bytes.to_string b) :: !scanned);
+  check_int "scan count" 100 (List.length !scanned);
+  check_int "record_count" 100 (Heap_file.record_count hf)
+
+let test_heap_insertion_order_is_physical_order () =
+  let _, _, stack = fresh_stack () in
+  let hf = Heap_file.create stack ~name:"heap" in
+  let rids = Array.init 200 (fun i -> Heap_file.insert hf (body (string_of_int i))) in
+  let sorted = Array.copy rids in
+  Array.sort Rid.compare sorted;
+  check_bool "rids already in physical order" true (rids = sorted)
+
+let test_heap_update_relocation () =
+  let sim, _, stack = fresh_stack () in
+  let hf = Heap_file.create stack ~name:"heap" in
+  (* Fill a page almost completely, then grow the first record. *)
+  let first = Heap_file.insert hf (Bytes.make 50 'a') in
+  let page_size = sim.Tb_sim.Sim.cost.Tb_sim.Cost_model.page_size in
+  let filler_count = (page_size / 60) + 2 in
+  let _ = List.init filler_count (fun _ -> Heap_file.insert hf (Bytes.make 50 'f')) in
+  Heap_file.update hf first (Bytes.make 600 'B');
+  check_int "reads back the grown body" 600
+    (Bytes.length (Heap_file.read hf first));
+  (* The scan still presents the record at its home Rid. *)
+  let seen = ref false in
+  Heap_file.scan hf (fun rid b ->
+      if Rid.equal rid first then begin
+        seen := true;
+        check_int "scan body" 600 (Bytes.length b)
+      end);
+  check_bool "scan shows home rid" true !seen;
+  (* And only once. *)
+  let count = ref 0 in
+  Heap_file.scan hf (fun rid _ -> if Rid.equal rid first then incr count);
+  check_int "no duplicates" 1 !count
+
+let test_heap_update_after_relocation_again () =
+  let _, _, stack = fresh_stack () in
+  let hf = Heap_file.create stack ~name:"heap" in
+  let first = Heap_file.insert hf (Bytes.make 50 'a') in
+  let _ = List.init 80 (fun _ -> Heap_file.insert hf (Bytes.make 50 'f')) in
+  Heap_file.update hf first (Bytes.make 900 'B');
+  Heap_file.update hf first (Bytes.make 1200 'C');
+  check_int "second growth" 1200 (Bytes.length (Heap_file.read hf first));
+  Heap_file.update hf first (Bytes.make 10 'd');
+  check_string "shrink after forwarding" (String.make 10 'd')
+    (Bytes.to_string (Heap_file.read hf first))
+
+let test_heap_delete () =
+  let _, _, stack = fresh_stack () in
+  let hf = Heap_file.create stack ~name:"heap" in
+  let a = Heap_file.insert hf (body "a") in
+  let b = Heap_file.insert hf (body "b") in
+  Heap_file.delete hf a;
+  check_bool "deleted read raises" true
+    (match Heap_file.read hf a with exception Not_found -> true | _ -> false);
+  check_string "other record intact" "b" (Bytes.to_string (Heap_file.read hf b));
+  check_int "count" 1 (Heap_file.record_count hf)
+
+let test_heap_respects_fill_factor () =
+  let sim, _, stack = fresh_stack () in
+  let hf = Heap_file.create stack ~name:"heap" in
+  (* 120-byte records, as providers: the paper expects ~30 per 4K page. *)
+  let record_bytes = 120 in
+  for _ = 1 to 300 do
+    ignore (Heap_file.insert hf (Bytes.make record_bytes 'p'))
+  done;
+  let per_page =
+    Tb_sim.Cost_model.records_per_page sim.Tb_sim.Sim.cost
+      ~record_bytes:(record_bytes + 4 + 1)
+  in
+  let expected_pages = (300 + per_page - 1) / per_page in
+  check_bool "page count near the paper's density" true
+    (abs (Heap_file.page_count hf - expected_pages) <= 1)
+
+let heap_roundtrip_prop =
+  QCheck.Test.make ~name:"heap file: insert/read roundtrip" ~count:50
+    QCheck.(small_list (string_of_size (Gen.int_range 1 300)))
+    (fun bodies ->
+      let _, _, stack = fresh_stack ~server:64 ~client:128 () in
+      let hf = Heap_file.create stack ~name:"heap" in
+      let rids = List.map (fun s -> (Heap_file.insert hf (body s), s)) bodies in
+      List.for_all
+        (fun (rid, s) -> String.equal (Bytes.to_string (Heap_file.read hf rid)) s)
+        rids)
+
+let suite =
+  [
+    Alcotest.test_case "rid: encode/decode" `Quick test_rid_roundtrip;
+    Alcotest.test_case "rid: physical order" `Quick test_rid_order_is_physical;
+    Alcotest.test_case "page: insert/read" `Quick test_page_insert_read;
+    Alcotest.test_case "page: delete and slot reuse" `Quick
+      test_page_delete_and_reuse;
+    Alcotest.test_case "page: refuses when full" `Quick test_page_full;
+    Alcotest.test_case "page: compaction" `Quick
+      test_page_compaction_recovers_space;
+    Alcotest.test_case "page: update in place and grow" `Quick
+      test_page_update_in_place_and_grow;
+    QCheck_alcotest.to_alcotest page_model_test;
+    Alcotest.test_case "pool: LRU eviction" `Quick test_pool_lru_eviction;
+    Alcotest.test_case "pool: re-add refreshes recency" `Quick
+      test_pool_readd_refreshes;
+    QCheck_alcotest.to_alcotest pool_never_exceeds_capacity;
+    Alcotest.test_case "stack: layer charging" `Quick test_stack_charges_layers;
+    Alcotest.test_case "stack: server absorbs client evictions" `Quick
+      test_stack_server_hit_after_client_eviction;
+    Alcotest.test_case "stack: cold after clear" `Quick test_stack_cold_after_clear;
+    Alcotest.test_case "stack: dirty write-back" `Quick test_stack_dirty_writeback;
+    Alcotest.test_case "heap: insert/read/scan" `Quick test_heap_insert_read_scan;
+    Alcotest.test_case "heap: insertion order = physical order" `Quick
+      test_heap_insertion_order_is_physical_order;
+    Alcotest.test_case "heap: relocation keeps the Rid valid" `Quick
+      test_heap_update_relocation;
+    Alcotest.test_case "heap: repeated growth" `Quick
+      test_heap_update_after_relocation_again;
+    Alcotest.test_case "heap: delete" `Quick test_heap_delete;
+    Alcotest.test_case "heap: fill factor density" `Quick
+      test_heap_respects_fill_factor;
+    QCheck_alcotest.to_alcotest heap_roundtrip_prop;
+  ]
