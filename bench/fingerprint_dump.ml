@@ -1,0 +1,17 @@
+(* Regenerate the counter-invariance golden file:
+
+     dune exec bench/fingerprint_dump.exe > test/counter_golden_scale40.txt
+
+   Only legitimate when the cost model itself changes on purpose; a pure
+   performance PR must leave the output byte-identical. *)
+
+let () =
+  let scale =
+    match Sys.argv with
+    | [| _ |] -> 40
+    | [| _; "--scale"; v |] -> int_of_string v
+    | _ ->
+        prerr_endline "usage: fingerprint_dump [--scale N]";
+        exit 2
+  in
+  List.iter print_endline (Tb_core.Fingerprint.collect ~scale)

@@ -13,6 +13,14 @@
 
 let default_scale = 40
 
+let usage msg =
+  Printf.eprintf "%s\n" msg;
+  Printf.eprintf
+    "usage: main [--scale N] [--micro] [--csv FILE] [figure ...]\n\
+     known figures: %s\n"
+    (String.concat ", " Tb_core.Figures.names);
+  exit 2
+
 let parse_args () =
   let scale = ref default_scale in
   let micro = ref false in
@@ -21,158 +29,35 @@ let parse_args () =
   let rec go = function
     | [] -> ()
     | "--scale" :: v :: rest ->
-        scale := int_of_string v;
+        (match int_of_string_opt v with
+        | Some n when n > 0 -> scale := n
+        | Some _ | None ->
+            usage (Printf.sprintf "--scale expects a positive integer, got %S" v));
         go rest
+    | [ "--scale" ] -> usage "--scale requires a value"
     | "--micro" :: rest ->
         micro := true;
         go rest
     | "--csv" :: path :: rest ->
         csv := Some path;
         go rest
+    | [ "--csv" ] -> usage "--csv requires a path"
     | name :: rest ->
         if List.mem name Tb_core.Figures.names then figures := name :: !figures
-        else begin
-          Printf.eprintf "unknown figure %S; known: %s\n" name
-            (String.concat ", " Tb_core.Figures.names);
-          exit 2
-        end;
+        else usage (Printf.sprintf "unknown figure %S" name);
         go rest
   in
   go (List.tl (Array.to_list Sys.argv));
   let figures = match List.rev !figures with [] -> [ "all" ] | fs -> fs in
   (!scale, !micro, !csv, figures)
 
-(* --- Bechamel microbenchmarks: one per paper table, exercising the code
-   path that dominates it, at a tiny fixed scale. --- *)
-
-let micro_built =
-  lazy
-    (let cfg =
-       {
-         (Tb_derby.Generator.config ~scale:500 `Deep
-            Tb_derby.Generator.Class_clustered)
-         with
-         Tb_derby.Generator.n_providers = 200;
-         fanout = 3;
-       }
-     in
-     Tb_derby.Generator.build ~cost:(Tb_sim.Cost_model.scaled 500) cfg)
-
-let run_query ?force_algo ?force_seq ?force_sorted q () =
-  let b = Lazy.force micro_built in
-  Tb_store.Database.cold_restart b.Tb_derby.Generator.db;
-  let r =
-    Tb_query.Planner.run b.Tb_derby.Generator.db q ?force_algo ?force_seq
-      ?force_sorted ~keep:false
-  in
-  let n = Tb_query.Query_result.count r in
-  Tb_query.Query_result.dispose r;
-  n
-
-let join_q =
-  lazy
-    (let b = Lazy.force micro_built in
-     let nc = Array.length b.Tb_derby.Generator.patients in
-     let np = Array.length b.Tb_derby.Generator.providers in
-     Printf.sprintf
-       "select [p.name, pa.age] from p in Providers, pa in p.clients where \
-        pa.mrn < %d and p.upin < %d"
-       (nc / 2) (np / 2))
-
-let sel_q =
-  lazy
-    (let b = Lazy.force micro_built in
-     Printf.sprintf "select pa.age from pa in Patients where pa.num < %d"
-       (Array.length b.Tb_derby.Generator.patients / 2))
-
-let micro_tests () =
-  let open Bechamel in
-  let t name f = Test.make ~name (Staged.stage f) in
-  [
-    (* Figure 6: selection through an unclustered index, unsorted. *)
-    t "fig6.index_scan" (fun () ->
-        run_query ~force_sorted:false (Lazy.force sel_q) ());
-    (* Figure 7: the sorted variant and the full scan it competes with. *)
-    t "fig7.sorted_index_scan" (fun () ->
-        run_query ~force_sorted:true (Lazy.force sel_q) ());
-    t "fig7.full_scan" (fun () -> run_query ~force_seq:true (Lazy.force sel_q) ());
-    (* Figures 11-14: one test per join algorithm. *)
-    t "fig11_14.nl" (fun () ->
-        run_query ~force_algo:Tb_query.Plan.NL (Lazy.force join_q) ());
-    t "fig11_14.nojoin" (fun () ->
-        run_query ~force_algo:Tb_query.Plan.NOJOIN (Lazy.force join_q) ());
-    t "fig11_14.phj" (fun () ->
-        run_query ~force_algo:Tb_query.Plan.PHJ (Lazy.force join_q) ());
-    t "fig11_14.chj" (fun () ->
-        run_query ~force_algo:Tb_query.Plan.CHJ (Lazy.force join_q) ());
-    (* Extensions: hybrid hashing and sort-merge. *)
-    t "ext.phhj" (fun () ->
-        run_query ~force_algo:Tb_query.Plan.PHHJ (Lazy.force join_q) ());
-    t "ext.smj" (fun () ->
-        run_query ~force_algo:Tb_query.Plan.SMJ (Lazy.force join_q) ());
-    (* Aggregation vs materialization. *)
-    t "ext.count" (fun () ->
-        let b = Lazy.force micro_built in
-        let nc = Array.length b.Tb_derby.Generator.patients in
-        run_query ~force_seq:true
-          (Printf.sprintf "select count(pa) from pa in Patients where pa.num < %d" (nc / 2))
-          ());
-    (* Figure 10: hash-table build over every patient. *)
-    t "fig10.hash_build" (fun () ->
-        let b = Lazy.force micro_built in
-        let sim = Tb_store.Database.sim b.Tb_derby.Generator.db in
-        let h = Tb_query.Mem_hash.create sim in
-        Array.iter
-          (fun rid -> Tb_query.Mem_hash.add h ~key:rid ~payload_bytes:13 0)
-          b.Tb_derby.Generator.patients;
-        Tb_query.Mem_hash.dispose h);
-    (* Figure 9 / Section 4: the Handle churn of a full scan. *)
-    t "fig9.handle_churn" (fun () ->
-        let b = Lazy.force micro_built in
-        let db = b.Tb_derby.Generator.db in
-        Array.iter
-          (fun rid ->
-            let h = Tb_store.Database.acquire db rid in
-            Tb_store.Database.unref db h)
-          b.Tb_derby.Generator.patients);
-    (* Section 3.2: B+-tree build, the first-index path. *)
-    t "sec3.btree_insert_1k" (fun () ->
-        let sim = Tb_sim.Sim.create (Tb_sim.Cost_model.scaled 500) in
-        let disk = Tb_storage.Disk.create sim in
-        let stack =
-          Tb_storage.Cache_stack.create sim disk ~server_pages:64
-            ~client_pages:256
-        in
-        let tree = Tb_store.Btree.create stack ~name:"bench" in
-        for i = 0 to 999 do
-          Tb_store.Btree.insert tree ~key:(i * 37 mod 1000)
-            ~rid:(Tb_storage.Rid.make ~file:0 ~page:i ~slot:0)
-        done);
-  ]
-
+(* The Bechamel micro suite itself lives in {!Micro}, shared with
+   bench/perf_gate.exe. *)
 let run_micro () =
-  let open Bechamel in
-  let grouped = Test.make_grouped ~name:"treebench" (micro_tests ()) in
-  let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
-  let raw = Benchmark.all cfg instances grouped in
-  let ols =
-    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
-  in
-  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
-  let merged = Analyze.merge ols instances results in
   Printf.printf "\n=== Bechamel microbenchmarks (wall clock) ===\n";
-  Hashtbl.iter
-    (fun measure tbl ->
-      Printf.printf "-- %s --\n" measure;
-      let rows = Hashtbl.fold (fun name r acc -> (name, r) :: acc) tbl [] in
-      List.iter
-        (fun (name, result) ->
-          match Analyze.OLS.estimates result with
-          | Some (est :: _) -> Printf.printf "%-36s %14.1f ns/run\n" name est
-          | Some [] | None -> Printf.printf "%-36s (no estimate)\n" name)
-        (List.sort (fun (a, _) (b, _) -> String.compare a b) rows))
-    merged
+  List.iter
+    (fun (name, est) -> Printf.printf "%-36s %14.1f ns/run\n" name est)
+    (Micro.estimates ~quota:0.5 ())
 
 let () =
   let scale, micro, csv, figures = parse_args () in

@@ -1,0 +1,57 @@
+(* Perf-regression gate.
+
+   Usage:
+     dune exec bench/perf_gate.exe              — full run (0.5 s/bench quota)
+     dune exec bench/perf_gate.exe -- --smoke   — quick sanity run for CI
+     dune exec bench/perf_gate.exe -- --out F   — write the JSON elsewhere
+
+   Runs the shared Bechamel micro suite ({!Micro}: one benchmark per paper
+   table) and writes BENCH_treebench.json:
+
+     {"benchmarks": [{"name": "fig6.index_scan", "ns_per_op": 123.4}, ...]}
+
+   Compare ns_per_op against a baseline capture to catch wall-clock
+   regressions.  These numbers are real time only — the simulated cost
+   model has its own gate, the counter-invariance test in
+   test/invariance_tests.ml. *)
+
+let usage msg =
+  Printf.eprintf "%s\nusage: perf_gate [--smoke] [--out FILE]\n" msg;
+  exit 2
+
+let () =
+  let smoke = ref false in
+  let out = ref "BENCH_treebench.json" in
+  let rec go = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        go rest
+    | "--out" :: path :: rest ->
+        out := path;
+        go rest
+    | [ "--out" ] -> usage "--out requires a path"
+    | arg :: _ -> usage (Printf.sprintf "unknown argument %S" arg)
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  let quota = if !smoke then 0.05 else 0.5 in
+  let rows = Micro.estimates ~quota () in
+  if rows = [] then begin
+    prerr_endline "perf_gate: no estimates produced";
+    exit 1
+  end;
+  let oc = open_out !out in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  let last = List.length rows - 1 in
+  List.iteri
+    (fun i (name, est) ->
+      Printf.fprintf oc "    {\"name\": %S, \"ns_per_op\": %.1f}%s\n" name est
+        (if i = last then "" else ","))
+    rows;
+  output_string oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "perf_gate: %d benchmarks -> %s%s\n" (List.length rows) !out
+    (if !smoke then " (smoke quota)" else "");
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-36s %14.1f ns/op\n" name est)
+    rows

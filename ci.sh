@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full local CI: build everything, run the test suite (including the
+# counter-invariance gate), then smoke the perf gate so BENCH_treebench.json
+# stays producible.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+dune build @all
+dune runtest
+dune exec bench/perf_gate.exe -- --smoke

@@ -1,0 +1,127 @@
+module Generator = Tb_derby.Generator
+module Database = Tb_store.Database
+module Sim = Tb_sim.Sim
+module Counters = Tb_sim.Counters
+module Plan = Tb_query.Plan
+
+(* The same algorithm/cell grid as Figures 11-15. *)
+let algos = [ Plan.PHJ; Plan.CHJ; Plan.NOJOIN; Plan.NL ]
+let cells = [ (10, 10); (10, 90); (90, 10); (90, 90) ]
+
+(* One canonical line per measured run: every Counters field, the simulated
+   clock (as raw float bits, so "identical" means bit-identical), the result
+   cardinality and the simulated memory peak.  Any engine change that
+   perturbs the cost model shows up as a diff against the recorded golden
+   file. *)
+let line ~tag db result_count =
+  let sim = Database.sim db in
+  let c = sim.Sim.counters in
+  Printf.sprintf
+    "%s | elapsed=%Lx rows=%d dr=%d dw=%d rpc=%d rpcp=%d sh=%d sm=%d ch=%d \
+     cm=%d ha=%d hf=%d hh=%d ga=%d cmp=%d hi=%d hp=%d sc=%d ra=%d sw=%d \
+     peak=%d"
+    tag
+    (Int64.bits_of_float (Sim.elapsed_s sim))
+    result_count c.Counters.disk_reads c.Counters.disk_writes
+    c.Counters.rpc_count c.Counters.rpc_pages c.Counters.server_hits
+    c.Counters.server_misses c.Counters.client_hits c.Counters.client_misses
+    c.Counters.handle_allocs c.Counters.handle_frees c.Counters.handle_hits
+    c.Counters.get_atts c.Counters.comparisons c.Counters.hash_inserts
+    c.Counters.hash_probes c.Counters.sort_comparisons
+    c.Counters.result_appends c.Counters.swap_faults
+    sim.Sim.peak_working_bytes
+
+let run_cold ?organization ?force_algo ?force_seq ?force_sorted ~tag db q =
+  let sim = Database.sim db in
+  Database.cold_restart db;
+  Sim.reset sim;
+  let r =
+    Tb_query.Planner.run ?organization ?force_algo ?force_seq ?force_sorted
+      ~keep:false db q
+  in
+  let n = Tb_query.Query_result.count r in
+  Tb_query.Query_result.dispose r;
+  line ~tag db n
+
+let selection_query (b : Generator.built) ~sel_permille =
+  let k = sel_permille * Array.length b.Generator.patients / 1000 in
+  Printf.sprintf "select pa.age from pa in Patients where pa.num < %d" k
+
+let join_query (b : Generator.built) ~sel_pat ~sel_prov =
+  let k1 = sel_pat * Array.length b.Generator.patients / 100 in
+  let k2 = sel_prov * Array.length b.Generator.providers / 100 in
+  Printf.sprintf
+    "select [p.name, pa.age] from p in Providers, pa in p.clients where \
+     pa.mrn < %d and p.upin < %d"
+    k1 k2
+
+let shape_name = function `Wide -> "wide" | `Deep -> "deep"
+
+let org_name = function
+  | Generator.Class_clustered -> "class"
+  | Generator.Randomized -> "random"
+  | Generator.Composition -> "composition"
+  | Generator.Assoc_ordered -> "assoc"
+
+let join_lines ~scale shape org =
+  let cfg = Generator.config ~scale shape org in
+  let b = Generator.build ~cost:(Tb_sim.Cost_model.scaled scale) cfg in
+  let organization = Generator.estimate_organization cfg in
+  List.concat_map
+    (fun (sel_pat, sel_prov) ->
+      List.map
+        (fun algo ->
+          let tag =
+            Printf.sprintf "join %s %s %s %d/%d" (shape_name shape)
+              (org_name org) (Plan.algo_name algo) sel_pat sel_prov
+          in
+          run_cold ~organization ~force_algo:algo ~force_sorted:true ~tag
+            b.Generator.db
+            (join_query b ~sel_pat ~sel_prov))
+        algos)
+    cells
+
+(* Selections of Figures 6/7/9 on the wide class-clustered database: plain
+   scan, unsorted index scan and sorted index scan across selectivities. *)
+let selection_lines ~scale =
+  let cfg = Generator.config ~scale `Wide Generator.Class_clustered in
+  let b = Generator.build ~cost:(Tb_sim.Cost_model.scaled scale) cfg in
+  let sel accesses =
+    List.concat_map
+      (fun sel_permille ->
+        let q = selection_query b ~sel_permille in
+        List.map
+          (fun access ->
+            match access with
+            | `Scan ->
+                run_cold ~force_seq:true
+                  ~tag:(Printf.sprintf "sel scan p=%d" sel_permille)
+                  b.Generator.db q
+            | `Index ->
+                run_cold ~force_sorted:false
+                  ~tag:(Printf.sprintf "sel index p=%d" sel_permille)
+                  b.Generator.db q
+            | `Sorted ->
+                run_cold ~force_sorted:true
+                  ~tag:(Printf.sprintf "sel sorted p=%d" sel_permille)
+                  b.Generator.db q)
+          accesses)
+  in
+  sel [ `Index; `Scan ] [ 1; 10; 50; 100; 300; 600; 900 ]
+  @ sel [ `Sorted ] [ 100; 300; 600; 900 ]
+
+(* The full workload behind fig6/fig7/fig9/fig11-fig15, in a fixed order.
+   Each database is built, measured and dropped before the next one so peak
+   RSS stays one simulated disk. *)
+let collect ~scale =
+  selection_lines ~scale
+  @ List.concat_map
+      (fun (shape, org) -> join_lines ~scale shape org)
+      [
+        (`Wide, Generator.Class_clustered);
+        (`Wide, Generator.Composition);
+        (`Wide, Generator.Randomized);
+        (`Deep, Generator.Class_clustered);
+        (`Deep, Generator.Composition);
+        (`Deep, Generator.Randomized);
+      ]

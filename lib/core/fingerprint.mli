@@ -1,0 +1,13 @@
+(** Canonical cost-model fingerprints of the paper's figure workloads.
+
+    [collect ~scale] rebuilds the databases behind Figures 6/7/9/11-15 and
+    re-runs every measured cell cold, emitting one line per run that folds
+    in every {!Tb_sim.Counters} field, the simulated elapsed time (as raw
+    IEEE-754 bits) and the simulated memory peak.
+
+    The golden file recorded from the engine as of the perf overhaul
+    ([test/counter_golden_scale40.txt]) pins these lines down: real-time
+    optimisations of the engine must leave every simulated number
+    bit-identical, which is what the invariance test asserts. *)
+
+val collect : scale:int -> string list

@@ -16,10 +16,28 @@ let payload_bytes p =
     (fun acc (_, v) -> acc + 4 + Tb_store.Codec.encoded_size v)
     Rid.on_disk_bytes p.attrs
 
-(* Harvest exactly the attributes [select] needs from a live Handle. *)
-let make_payload db h ~needed =
+(* Attribute names are resolved to schema slots once per plan; the per-row
+   work below (predicate evaluation, payload harvest, inverse navigation)
+   is then an integer-indexed load instead of a string lookup. *)
+type compiled_pred = { pslot : int; pcmp : Oql_ast.cmp; pconst : Value.t }
+
+let compile_preds db ~cls preds =
+  List.map
+    (fun { Plan.attr; cmp; const } ->
+      { pslot = Database.attr_slot db ~cls attr; pcmp = cmp; pconst = const })
+    preds
+
+(* [(name, slot)] for the attributes [select] needs from a side. *)
+let compile_needed db ~cls needed =
   let attrs, _self = needed in
-  { self = h.Handle.rid; attrs = List.map (fun a -> (a, Database.get_att db h a)) attrs }
+  List.map (fun a -> (a, Database.attr_slot db ~cls a)) attrs
+
+(* Harvest exactly the attributes [select] needs from a live Handle. *)
+let make_payload db h ~slots =
+  {
+    self = h.Handle.rid;
+    attrs = List.map (fun (a, slot) -> (a, Database.get_att_slot db h slot)) slots;
+  }
 
 let eval_select db select ~lookup =
   let rec ev = function
@@ -41,9 +59,9 @@ let eval_select db select ~lookup =
 
 let eval_preds db h preds =
   List.for_all
-    (fun { Plan.attr; cmp; const } ->
+    (fun { pslot; pcmp; pconst } ->
       Sim.charge_compare (Database.sim db) 1;
-      Oql_ast.eval_cmp cmp (Database.get_att db h attr) const)
+      Oql_ast.eval_cmp pcmp (Database.get_att_slot db h pslot) pconst)
     preds
 
 (* Iterate the Rids an access path yields, in its natural order. Residual
@@ -86,10 +104,10 @@ let needs_handle ~residual ~needed =
 
 (* --- Selection (Figure 8) --- *)
 
-let run_selection db ~keep ~var ~access ~select ~aggregate =
+let run_selection db ~keep ~var ~cls ~access ~select ~aggregate =
   let sim = Database.sim db in
   let result = Query_result.create ?aggregate sim ~keep in
-  let preds = access_preds access in
+  let preds = compile_preds db ~cls (access_preds access) in
   let needed = Plan.needed_attrs var select in
   let lookup h v =
     if String.equal v var then Live h else invalid_arg ("Exec: unknown var " ^ v)
@@ -123,11 +141,13 @@ let require_inv = function
 
 (* Parent-to-child navigation. Only the parent access path may use an
    index; children are reached through the parent's collection. *)
-let run_nl db ~keep ~parent_var ~child_var ~set_attr ~parent_access
-    ~child_preds ~select ~aggregate =
+let run_nl db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~set_attr
+    ~parent_access ~child_preds ~select ~aggregate =
   let sim = Database.sim db in
   let result = Query_result.create ?aggregate sim ~keep in
-  let p_preds = access_preds parent_access in
+  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
+  let c_preds = compile_preds db ~cls:child_cls child_preds in
+  let set_slot = Database.attr_slot db ~cls:parent_cls set_attr in
   let lookup ph ch v =
     if String.equal v parent_var then Live ph
     else if String.equal v child_var then Live ch
@@ -136,12 +156,12 @@ let run_nl db ~keep ~parent_var ~child_var ~set_attr ~parent_access
   iter_access db parent_access (fun prid ->
       let ph = Database.acquire db prid in
       if eval_preds db ph p_preds then begin
-        let clients = Database.get_att db ph set_attr in
+        let clients = Database.get_att_slot db ph set_slot in
         Database.iter_set db clients (fun elt ->
             match elt with
             | Value.Ref crid ->
                 let ch = Database.acquire db crid in
-                if eval_preds db ch child_preds then
+                if eval_preds db ch c_preds then
                   Query_result.append result
                     (eval_select db select ~lookup:(lookup ph ch));
                 Database.unref db ch
@@ -154,12 +174,13 @@ let run_nl db ~keep ~parent_var ~child_var ~set_attr ~parent_access
 (* Child-to-parent navigation: "the join is hidden within the navigation
    pattern".  Only the child access path may use an index; the parent
    condition is tested once per child. *)
-let run_nojoin db ~keep ~parent_var ~child_var ~inv_attr ~parent_preds
-    ~child_access ~select ~aggregate =
+let run_nojoin db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
+    ~inv_attr ~parent_preds ~child_access ~select ~aggregate =
   let sim = Database.sim db in
   let result = Query_result.create ?aggregate sim ~keep in
-  let c_preds = access_preds child_access in
-  let inv = require_inv inv_attr in
+  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
+  let p_preds = compile_preds db ~cls:parent_cls parent_preds in
+  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
   let lookup ph ch v =
     if String.equal v parent_var then Live ph
     else if String.equal v child_var then Live ch
@@ -168,10 +189,10 @@ let run_nojoin db ~keep ~parent_var ~child_var ~inv_attr ~parent_preds
   iter_access db child_access (fun crid ->
       let ch = Database.acquire db crid in
       if eval_preds db ch c_preds then begin
-        match Database.get_att db ch inv with
+        match Database.get_att_slot db ch inv_slot with
         | Value.Ref prid ->
             let ph = Database.acquire db prid in
-            if eval_preds db ph parent_preds then
+            if eval_preds db ph p_preds then
               Query_result.append result
                 (eval_select db select ~lookup:(lookup ph ch));
             Database.unref db ph
@@ -183,19 +204,21 @@ let run_nojoin db ~keep ~parent_var ~child_var ~inv_attr ~parent_preds
 
 (* Hash the parents, probe with the children. Both access paths may use
    indexes and both collections are read sequentially. *)
-let run_phj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
-    ~child_access ~select ~aggregate =
+let run_phj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~inv_attr
+    ~parent_access ~child_access ~select ~aggregate =
   let sim = Database.sim db in
   let result = Query_result.create ?aggregate sim ~keep in
-  let p_preds = access_preds parent_access in
-  let c_preds = access_preds child_access in
-  let inv = require_inv inv_attr in
-  let needed_p = Plan.needed_attrs parent_var select in
+  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
+  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
+  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
+  let slots_p =
+    compile_needed db ~cls:parent_cls (Plan.needed_attrs parent_var select)
+  in
   let table : payload Mem_hash.t = Mem_hash.create sim in
   iter_access db parent_access (fun prid ->
       let ph = Database.acquire db prid in
       if eval_preds db ph p_preds then begin
-        let payload = make_payload db ph ~needed:needed_p in
+        let payload = make_payload db ph ~slots:slots_p in
         Mem_hash.add table ~key:prid ~payload_bytes:(payload_bytes payload) payload
       end;
       Database.unref db ph);
@@ -207,7 +230,7 @@ let run_phj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
   iter_access db child_access (fun crid ->
       let ch = Database.acquire db crid in
       if eval_preds db ch c_preds then begin
-        match Database.get_att db ch inv with
+        match Database.get_att_slot db ch inv_slot with
         | Value.Ref prid ->
             List.iter
               (fun pp ->
@@ -225,21 +248,23 @@ let run_phj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
    The paper's variation of the pointer-based join: because the table is
    keyed by parent identity, the provider collection is scanned
    sequentially instead of being fetched in hash order. *)
-let run_chj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
-    ~child_access ~select ~aggregate =
+let run_chj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~inv_attr
+    ~parent_access ~child_access ~select ~aggregate =
   let sim = Database.sim db in
   let result = Query_result.create ?aggregate sim ~keep in
-  let p_preds = access_preds parent_access in
-  let c_preds = access_preds child_access in
-  let inv = require_inv inv_attr in
-  let needed_c = Plan.needed_attrs child_var select in
+  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
+  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
+  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
+  let slots_c =
+    compile_needed db ~cls:child_cls (Plan.needed_attrs child_var select)
+  in
   let table : payload Mem_hash.t = Mem_hash.create sim in
   iter_access db child_access (fun crid ->
       let ch = Database.acquire db crid in
       if eval_preds db ch c_preds then begin
-        match Database.get_att db ch inv with
+        match Database.get_att_slot db ch inv_slot with
         | Value.Ref prid ->
-            let payload = make_payload db ch ~needed:needed_c in
+            let payload = make_payload db ch ~slots:slots_c in
             Mem_hash.add table ~key:prid
               ~payload_bytes:(payload_bytes payload)
               payload
@@ -295,8 +320,9 @@ let new_spill_file db =
    Disk traffic replaces the swap thrash of the in-memory algorithms: the
    fix the paper points at ("the need for hybrid hashing") but never
    measured. *)
-let run_hybrid db ~keep ~aggregate ~build:(build_access, build_key, build_needed)
-    ~probe:(probe_access, probe_key, probe_needed) ~partitions ~emit =
+let run_hybrid db ~keep ~aggregate
+    ~build:(build_access, build_key, build_slots, build_preds)
+    ~probe:(probe_access, probe_key, probe_slots, probe_preds) ~partitions ~emit =
   let sim = Database.sim db in
   let result = Query_result.create ?aggregate sim ~keep in
   let partitions = max 1 partitions in
@@ -304,15 +330,13 @@ let run_hybrid db ~keep ~aggregate ~build:(build_access, build_key, build_needed
   let table : payload Mem_hash.t = Mem_hash.create sim in
   let build_spill = Array.init (max 0 (partitions - 1)) (fun _ -> new_spill_file db) in
   let probe_spill = Array.init (max 0 (partitions - 1)) (fun _ -> new_spill_file db) in
-  let build_preds = access_preds build_access in
-  let probe_preds = access_preds probe_access in
   (* Build pass. *)
   iter_access db build_access (fun rid ->
       let h = Database.acquire db rid in
       if eval_preds db h build_preds then begin
         match build_key h with
         | Some key ->
-            let payload = make_payload db h ~needed:build_needed in
+            let payload = make_payload db h ~slots:build_slots in
             if bucket key = 0 then
               Mem_hash.add table ~key ~payload_bytes:(payload_bytes payload)
                 payload
@@ -332,13 +356,13 @@ let run_hybrid db ~keep ~aggregate ~build:(build_access, build_key, build_needed
         | Some key ->
             if bucket key = 0 then
               List.iter
-                (fun bp -> emit result bp (make_payload db h ~needed:probe_needed))
+                (fun bp -> emit result bp (make_payload db h ~slots:probe_slots))
                 (Mem_hash.find table ~key)
             else
               ignore
                 (Tb_storage.Heap_file.insert
                    probe_spill.(bucket key - 1)
-                   (spill_record ~key (make_payload db h ~needed:probe_needed)))
+                   (spill_record ~key (make_payload db h ~slots:probe_slots)))
         | None -> ()
       end;
       Database.unref db h);
@@ -356,17 +380,23 @@ let run_hybrid db ~keep ~aggregate ~build:(build_access, build_key, build_needed
   done;
   result
 
-let key_of_inverse db inv h =
-  match Database.get_att db h inv with
+let key_of_inverse db inv_slot h =
+  match Database.get_att_slot db h inv_slot with
   | Value.Ref prid -> Some prid
   | Value.Nil -> None
   | _ -> invalid_arg "Exec: inverse attribute is not a reference"
 
-let run_phhj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
-    ~child_access ~partitions ~select ~aggregate =
-  let inv = require_inv inv_attr in
-  let needed_p = Plan.needed_attrs parent_var select in
-  let needed_c = Plan.needed_attrs child_var select in
+let run_phhj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~inv_attr
+    ~parent_access ~child_access ~partitions ~select ~aggregate =
+  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
+  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
+  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
+  let slots_p =
+    compile_needed db ~cls:parent_cls (Plan.needed_attrs parent_var select)
+  in
+  let slots_c =
+    compile_needed db ~cls:child_cls (Plan.needed_attrs child_var select)
+  in
   let lookup pp cp v =
     if String.equal v parent_var then Stored pp
     else if String.equal v child_var then Stored cp
@@ -376,15 +406,21 @@ let run_phhj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
     Query_result.append result (eval_select db select ~lookup:(lookup pp cp))
   in
   run_hybrid db ~keep ~aggregate
-    ~build:(parent_access, (fun h -> Some h.Handle.rid), needed_p)
-    ~probe:(child_access, key_of_inverse db inv, needed_c)
+    ~build:(parent_access, (fun h -> Some h.Handle.rid), slots_p, p_preds)
+    ~probe:(child_access, key_of_inverse db inv_slot, slots_c, c_preds)
     ~partitions ~emit
 
-let run_chhj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
-    ~child_access ~partitions ~select ~aggregate =
-  let inv = require_inv inv_attr in
-  let needed_p = Plan.needed_attrs parent_var select in
-  let needed_c = Plan.needed_attrs child_var select in
+let run_chhj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~inv_attr
+    ~parent_access ~child_access ~partitions ~select ~aggregate =
+  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
+  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
+  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
+  let slots_p =
+    compile_needed db ~cls:parent_cls (Plan.needed_attrs parent_var select)
+  in
+  let slots_c =
+    compile_needed db ~cls:child_cls (Plan.needed_attrs child_var select)
+  in
   let lookup cp pp v =
     if String.equal v parent_var then Stored pp
     else if String.equal v child_var then Stored cp
@@ -394,8 +430,8 @@ let run_chhj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
     Query_result.append result (eval_select db select ~lookup:(lookup cp pp))
   in
   run_hybrid db ~keep ~aggregate
-    ~build:(child_access, key_of_inverse db inv, needed_c)
-    ~probe:(parent_access, (fun h -> Some h.Handle.rid), needed_p)
+    ~build:(child_access, key_of_inverse db inv_slot, slots_c, c_preds)
+    ~probe:(parent_access, (fun h -> Some h.Handle.rid), slots_p, p_preds)
     ~partitions ~emit
 
 (* --- pointer-based sort-merge join --- *)
@@ -418,16 +454,20 @@ let charge_external_sort sim ~elems ~bytes =
     done
   end
 
-let run_smj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
-    ~child_access ~select ~aggregate =
+let run_smj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~inv_attr
+    ~parent_access ~child_access ~select ~aggregate =
   let sim = Database.sim db in
   let result = Query_result.create ?aggregate sim ~keep in
-  let inv = require_inv inv_attr in
-  let p_preds = access_preds parent_access in
-  let c_preds = access_preds child_access in
-  let needed_p = Plan.needed_attrs parent_var select in
-  let needed_c = Plan.needed_attrs child_var select in
-  let gather access preds key_of needed =
+  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
+  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
+  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
+  let slots_p =
+    compile_needed db ~cls:parent_cls (Plan.needed_attrs parent_var select)
+  in
+  let slots_c =
+    compile_needed db ~cls:child_cls (Plan.needed_attrs child_var select)
+  in
+  let gather access preds key_of slots =
     let acc = ref [] in
     let bytes = ref 0 in
     iter_access db access (fun rid ->
@@ -435,7 +475,7 @@ let run_smj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
         if eval_preds db h preds then begin
           match key_of h with
           | Some key ->
-              let payload = make_payload db h ~needed in
+              let payload = make_payload db h ~slots in
               acc := (key, payload) :: !acc;
               bytes := !bytes + payload_bytes payload
         | None -> ()
@@ -448,9 +488,11 @@ let run_smj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
     (arr, !bytes)
   in
   let parents, p_bytes =
-    gather parent_access p_preds (fun h -> Some h.Handle.rid) needed_p
+    gather parent_access p_preds (fun h -> Some h.Handle.rid) slots_p
   in
-  let children, c_bytes = gather child_access c_preds (key_of_inverse db inv) needed_c in
+  let children, c_bytes =
+    gather child_access c_preds (key_of_inverse db inv_slot) slots_c
+  in
   (* Runs that do not fit in memory together are streamed through disk once
      more (write out, read back for the merge). *)
   if Sim.excess_ratio sim > 0.0 then begin
@@ -486,13 +528,15 @@ let run_smj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
 
 let run db plan ~keep =
   match plan with
-  | Plan.Selection { var; access; select; aggregate; _ } ->
-      run_selection db ~keep ~var ~access ~select ~aggregate
+  | Plan.Selection { var; cls; access; select; aggregate } ->
+      run_selection db ~keep ~var ~cls ~access ~select ~aggregate
   | Plan.Hier_join
       {
         algo;
         parent_var;
+        parent_cls;
         child_var;
+        child_cls;
         set_attr;
         inv_attr;
         parent_access;
@@ -500,7 +544,6 @@ let run db plan ~keep =
         partitions;
         select;
         aggregate;
-        _;
       } -> (
       match algo with
       | Plan.NL ->
@@ -512,8 +555,8 @@ let run db plan ~keep =
             | Plan.Index_scan _ ->
                 invalid_arg "Exec: NL child access must be a scan"
           in
-          run_nl db ~keep ~parent_var ~child_var ~set_attr ~parent_access
-            ~child_preds ~select ~aggregate
+          run_nl db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
+            ~set_attr ~parent_access ~child_preds ~select ~aggregate
       | Plan.NOJOIN ->
           let parent_preds =
             match parent_access with
@@ -521,20 +564,22 @@ let run db plan ~keep =
             | Plan.Index_scan _ ->
                 invalid_arg "Exec: NOJOIN parent access must be a scan"
           in
-          run_nojoin db ~keep ~parent_var ~child_var ~inv_attr ~parent_preds
-            ~child_access ~select ~aggregate
+          run_nojoin db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
+            ~inv_attr ~parent_preds ~child_access ~select ~aggregate
       | Plan.PHJ ->
-          run_phj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
-            ~child_access ~select ~aggregate
+          run_phj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
+            ~inv_attr ~parent_access ~child_access ~select ~aggregate
       | Plan.CHJ ->
-          run_chj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
-            ~child_access ~select ~aggregate
+          run_chj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
+            ~inv_attr ~parent_access ~child_access ~select ~aggregate
       | Plan.PHHJ ->
-          run_phhj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
-            ~child_access ~partitions ~select ~aggregate
+          run_phhj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
+            ~inv_attr ~parent_access ~child_access ~partitions ~select
+            ~aggregate
       | Plan.CHHJ ->
-          run_chhj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
-            ~child_access ~partitions ~select ~aggregate
+          run_chhj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
+            ~inv_attr ~parent_access ~child_access ~partitions ~select
+            ~aggregate
       | Plan.SMJ ->
-          run_smj db ~keep ~parent_var ~child_var ~inv_attr ~parent_access
-            ~child_access ~select ~aggregate)
+          run_smj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
+            ~inv_attr ~parent_access ~child_access ~select ~aggregate)

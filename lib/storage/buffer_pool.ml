@@ -1,49 +1,63 @@
-(* Doubly-linked LRU list threaded through a hash table. [head] is the least
-   recently used node, [tail] the most recent. *)
+(* Intrusive doubly-linked LRU threaded through a hash table.  A circular
+   sentinel node replaces the old [node option] head/tail: unlink and
+   push-tail are straight pointer swaps with no option boxing, and when the
+   pool is full the evicted node is recycled for the incoming page, so the
+   steady state allocates nothing per touch.  [sentinel.next] is the least
+   recently used entry, [sentinel.prev] the most recent. *)
 
 type node = {
-  id : Page_id.t;
-  page : Page_layout.t;
-  mutable prev : node option;
-  mutable next : node option;
+  mutable id : Page_id.t;
+  mutable page : Page_layout.t;
+  mutable prev : node;
+  mutable next : node;
 }
 
 type t = {
   capacity : int;
   table : (Page_id.t, node) Hashtbl.t;
-  mutable head : node option;
-  mutable tail : node option;
+  sentinel : node;
 }
 
 let create ~capacity_pages =
   if capacity_pages <= 0 then invalid_arg "Buffer_pool.create: capacity";
-  { capacity = capacity_pages; table = Hashtbl.create 1024; head = None; tail = None }
+  let rec sentinel =
+    {
+      id = Page_id.make ~file:0 ~index:0;
+      page = Page_layout.create ~size:64;
+      prev = sentinel;
+      next = sentinel;
+    }
+  in
+  {
+    capacity = capacity_pages;
+    table = Hashtbl.create (min 65536 (capacity_pages + 1));
+    sentinel;
+  }
 
 let capacity t = t.capacity
 let size t = Hashtbl.length t.table
 
-let unlink t node =
-  (match node.prev with
-  | Some p -> p.next <- node.next
-  | None -> t.head <- node.next);
-  (match node.next with
-  | Some n -> n.prev <- node.prev
-  | None -> t.tail <- node.prev);
-  node.prev <- None;
-  node.next <- None
+let unlink node =
+  node.prev.next <- node.next;
+  node.next.prev <- node.prev
 
+(* Insert just before the sentinel: the most-recently-used position. *)
 let push_tail t node =
-  node.prev <- t.tail;
-  node.next <- None;
-  (match t.tail with Some old -> old.next <- Some node | None -> t.head <- Some node);
-  t.tail <- Some node
+  let s = t.sentinel in
+  node.prev <- s.prev;
+  node.next <- s;
+  s.prev.next <- node;
+  s.prev <- node
+
+let touch t node =
+  unlink node;
+  push_tail t node
 
 let find t id =
   match Hashtbl.find_opt t.table id with
   | None -> None
   | Some node ->
-      unlink t node;
-      push_tail t node;
+      touch t node;
       Some node.page
 
 let mem t id = Hashtbl.mem t.table id
@@ -51,42 +65,47 @@ let mem t id = Hashtbl.mem t.table id
 let add t id page =
   match Hashtbl.find_opt t.table id with
   | Some node ->
-      unlink t node;
-      push_tail t node;
+      (* Re-adding refreshes recency only; the cached page stays. *)
+      ignore page;
+      touch t node;
       None
   | None ->
-      let victim =
-        if Hashtbl.length t.table >= t.capacity then
-          match t.head with
-          | Some lru ->
-              unlink t lru;
-              Hashtbl.remove t.table lru.id;
-              Some (lru.id, lru.page)
-          | None -> None
-        else None
-      in
-      let node = { id; page; prev = None; next = None } in
-      Hashtbl.replace t.table id node;
-      push_tail t node;
-      victim
+      if Hashtbl.length t.table >= t.capacity then begin
+        (* Full: evict the LRU entry and recycle its node for the newcomer. *)
+        let lru = t.sentinel.next in
+        let victim = (lru.id, lru.page) in
+        Hashtbl.remove t.table lru.id;
+        lru.id <- id;
+        lru.page <- page;
+        Hashtbl.replace t.table id lru;
+        touch t lru;
+        Some victim
+      end
+      else begin
+        let node = { id; page; prev = t.sentinel; next = t.sentinel } in
+        Hashtbl.replace t.table id node;
+        push_tail t node;
+        None
+      end
 
 let remove t id =
   match Hashtbl.find_opt t.table id with
   | None -> ()
   | Some node ->
-      unlink t node;
+      unlink node;
       Hashtbl.remove t.table id
 
 let iter t f =
-  let rec go = function
-    | None -> ()
-    | Some node ->
-        f node.id node.page;
-        go node.next
+  let s = t.sentinel in
+  let rec go node =
+    if node != s then begin
+      f node.id node.page;
+      go node.next
+    end
   in
-  go t.head
+  go s.next
 
 let clear t =
   Hashtbl.reset t.table;
-  t.head <- None;
-  t.tail <- None
+  t.sentinel.prev <- t.sentinel;
+  t.sentinel.next <- t.sentinel

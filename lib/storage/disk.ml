@@ -32,11 +32,11 @@ let find_file t ~name =
 
 let page_count t id = (get_file t id).n_pages
 
-let page t (pid : Page_id.t) =
-  let f = get_file t pid.Page_id.file in
-  if pid.Page_id.index < 0 || pid.Page_id.index >= f.n_pages then
-    invalid_arg "Disk.page: no such page";
-  f.pages.(pid.Page_id.index)
+let page t pid =
+  let f = get_file t (Page_id.file pid) in
+  let index = Page_id.index pid in
+  if index < 0 || index >= f.n_pages then invalid_arg "Disk.page: no such page";
+  f.pages.(index)
 
 let append_page t ~file =
   let f = get_file t file in

@@ -139,6 +139,39 @@ let decode b ~pos =
   in
   read pos
 
+(* Walk over one encoded value without materializing it: the backbone of
+   the lazy record view, which only needs the *positions* of a record's
+   fields until an attribute is actually read. *)
+let rec skip b ~pos =
+  if pos >= Bytes.length b then invalid_arg "Codec.skip: truncated";
+  let tag = Bytes.get_uint8 b pos in
+  let pos = pos + 1 in
+  if tag = tag_nil then pos
+  else if tag = tag_int then pos + 4
+  else if tag = tag_real then pos + 8
+  else if tag = tag_bool || tag = tag_char then pos + 1
+  else if tag = tag_string then pos + 2 + Bytes.get_uint16_le b pos
+  else if tag = tag_ref || tag = tag_big_set then
+    pos + Tb_storage.Rid.on_disk_bytes
+  else if tag = tag_tuple then begin
+    let n = Bytes.get_uint16_le b pos in
+    let pos = ref (pos + 2) in
+    for _ = 1 to n do
+      let len = Bytes.get_uint16_le b !pos in
+      pos := skip b ~pos:(!pos + 2 + len)
+    done;
+    !pos
+  end
+  else if tag = tag_set || tag = tag_list then begin
+    let n = Int32.to_int (Bytes.get_int32_le b pos) in
+    let pos = ref (pos + 4) in
+    for _ = 1 to n do
+      pos := skip b ~pos:!pos
+    done;
+    !pos
+  end
+  else invalid_arg "Codec.skip: bad tag"
+
 let decode_exn b =
   let v, final = decode b ~pos:0 in
   if final <> Bytes.length b then invalid_arg "Codec.decode_exn: trailing bytes";

@@ -15,5 +15,10 @@ val encode : Value.t -> bytes
     Raises [Invalid_argument] on malformed input. *)
 val decode : bytes -> pos:int -> Value.t * int
 
+(** [skip b ~pos] returns the position one past the value starting at
+    [pos] without allocating it — how the lazy record view finds field
+    offsets.  Raises [Invalid_argument] on malformed input. *)
+val skip : bytes -> pos:int -> int
+
 (** [decode_exn b] decodes a whole buffer holding exactly one value. *)
 val decode_exn : bytes -> Value.t

@@ -152,16 +152,76 @@ let insert_object t ~cls ?(indexed = false) value =
 
 let read_object t rid = decode_object t.schema (Heap_file.read (heap_of_rid t rid) rid)
 
+(* Decode only the header and a field-offset table: one [Codec.skip] sweep
+   over the body, no Value allocation.  Attributes materialize lazily
+   through the Handle's memo array. *)
+let lazy_view schema body =
+  let header, pos0 = Obj_header.decode body ~pos:0 in
+  let class_id = Obj_header.class_id header in
+  let n = Schema.attr_count schema ~class_id in
+  let offsets = Array.make n 0 in
+  let pos = ref pos0 in
+  for i = 0 to n - 1 do
+    offsets.(i) <- !pos;
+    pos := Codec.skip body ~pos:!pos
+  done;
+  (class_id, { Handle.body; offsets; cache = Array.make n None })
+
 let acquire t rid =
   Handle_table.acquire t.handles rid ~load:(fun () ->
-      let header, value = read_object t rid in
-      (Obj_header.class_id header, value))
+      let body = Heap_file.read (heap_of_rid t rid) rid in
+      let class_id, view = lazy_view t.schema body in
+      (class_id, Handle.View view))
 
 let unref t h = Handle_table.unreference t.handles h
 
-let get_att t h attr =
+let get_att_slot t h slot =
   Tb_sim.Sim.charge_get_att t.sim;
-  Value.field h.Handle.value attr
+  match h.Handle.repr with
+  | Handle.View view -> (
+      match view.Handle.cache.(slot) with
+      | Some v -> v
+      | None ->
+          let v, _ = Codec.decode view.Handle.body ~pos:view.Handle.offsets.(slot) in
+          view.Handle.cache.(slot) <- Some v;
+          v)
+  | Handle.Whole (Value.Tuple fields) -> snd (List.nth fields slot)
+  | Handle.Whole _ -> invalid_arg "Database.get_att_slot: not a tuple"
+
+let attr_slot t ~cls attr =
+  match Schema.attr_slot t.schema ~class_id:(Schema.class_id t.schema cls) ~attr with
+  | slot -> slot
+  | exception Not_found -> invalid_arg ("Database.attr_slot: no field " ^ attr)
+
+let get_att t h attr =
+  match Schema.attr_slot t.schema ~class_id:h.Handle.class_id ~attr with
+  | slot -> get_att_slot t h slot
+  | exception Not_found ->
+      Tb_sim.Sim.charge_get_att t.sim;
+      invalid_arg ("Value.field: no field " ^ attr)
+
+(* Materialize a Handle's full value (slow path: updates, tests). *)
+let handle_value t h =
+  match h.Handle.repr with
+  | Handle.Whole v -> v
+  | Handle.View view ->
+      let cls = Schema.class_of_id t.schema h.Handle.class_id in
+      Value.Tuple
+        (List.mapi
+           (fun slot (name, _) ->
+             let v =
+               match view.Handle.cache.(slot) with
+               | Some v -> v
+               | None ->
+                   let v, _ =
+                     Codec.decode view.Handle.body
+                       ~pos:view.Handle.offsets.(slot)
+                   in
+                   view.Handle.cache.(slot) <- Some v;
+                   v
+             in
+             (name, v))
+           cls.Schema.attrs)
 
 let class_name t h = (Schema.class_of_id t.schema h.Handle.class_id).Schema.cls_name
 
@@ -186,7 +246,7 @@ let update_object t rid value =
   Transaction.on_write t.txn ~bytes:(Bytes.length body);
   (* Keep any resident handle coherent. *)
   match Handle_table.find_resident t.handles rid with
-  | Some h -> h.Handle.value <- value
+  | Some h -> Handle.set_value h value
   | None -> ()
 
 let delete_object t rid =

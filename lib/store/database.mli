@@ -65,6 +65,20 @@ val unref : t -> Handle.t -> unit
     per-attribute CPU cost of Figure 8's [get_att]. *)
 val get_att : t -> Handle.t -> string -> Value.t
 
+(** [attr_slot t ~cls attr] resolves an attribute name to its schema slot
+    once; the slot then feeds {!get_att_slot} on the hot path.  Raises
+    [Invalid_argument] for an unknown attribute. *)
+val attr_slot : t -> cls:string -> string -> int
+
+(** [get_att_slot t h slot] is {!get_att} with the name already resolved:
+    same simulated charge, but attribute access is an array load (memoized
+    lazy decode on first touch). *)
+val get_att_slot : t -> Handle.t -> int -> Value.t
+
+(** [handle_value t h] materializes the Handle's full value (slow path —
+    tests and updates; queries should use {!get_att_slot}). *)
+val handle_value : t -> Handle.t -> Value.t
+
 val class_name : t -> Handle.t -> string
 
 (** [update_object t rid value] rewrites the object and maintains its

@@ -1,10 +1,26 @@
+(* A freshly loaded Handle holds the record's raw bytes plus a field-offset
+   table; attributes decode on first access and memoize into [cache], so a
+   repeated get_att on a live Handle is an array load.  [Whole] is the
+   fully-materialized form (updates install it so resident Handles stay
+   coherent with the store). *)
+
+type view = {
+  body : bytes;
+  offsets : int array;  (* absolute start of each attribute's encoding *)
+  cache : Value.t option array;  (* decoded attributes, by slot *)
+}
+
+type repr = Whole of Value.t | View of view
+
 type t = {
   rid : Tb_storage.Rid.t;
   class_id : int;
-  mutable value : Value.t;
+  mutable repr : repr;
   mutable refcount : int;
   mem_bytes : int;
 }
 
-let make ~rid ~class_id ~value ~mem_bytes =
-  { rid; class_id; value; refcount = 1; mem_bytes }
+let make ~rid ~class_id ~repr ~mem_bytes =
+  { rid; class_id; repr; refcount = 1; mem_bytes }
+
+let set_value t v = t.repr <- Whole v

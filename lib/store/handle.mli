@@ -6,15 +6,35 @@
     (delayed) destruction dominate the CPU cost of cold associative
     accesses.  The [kind] (fat vs compact) selects between the measured O2
     behaviour and the slimmed-down representative the paper proposes in
-    Section 4.4; the ablation bench flips it. *)
+    Section 4.4; the ablation bench flips it.
+
+    The representative itself is lazy: loading a Handle stores the record
+    body and a per-attribute offset table ([View]); attributes are decoded
+    on first access and memoized, so acquiring an object never pays for
+    attributes the query ignores.  All of this is real-time machinery only —
+    the simulated costs (handle alloc/free, get_att) are charged exactly as
+    before. *)
+
+type view = {
+  body : bytes;
+  offsets : int array;  (** absolute start of each attribute's encoding *)
+  cache : Value.t option array;  (** decoded attributes, memoized by slot *)
+}
+
+type repr =
+  | Whole of Value.t  (** fully materialized (e.g. after an update) *)
+  | View of view  (** lazy: decode attributes on demand *)
 
 type t = {
   rid : Tb_storage.Rid.t;
   class_id : int;
-  mutable value : Value.t;
+  mutable repr : repr;
   mutable refcount : int;
   mem_bytes : int;  (** accounted against simulated RAM while live *)
 }
 
 val make :
-  rid:Tb_storage.Rid.t -> class_id:int -> value:Value.t -> mem_bytes:int -> t
+  rid:Tb_storage.Rid.t -> class_id:int -> repr:repr -> mem_bytes:int -> t
+
+(** [set_value t v] installs a materialized value (update coherence). *)
+val set_value : t -> Value.t -> unit

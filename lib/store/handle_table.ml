@@ -38,8 +38,8 @@ let acquire t rid ~load =
       Tb_sim.Sim.charge_handle_alloc t.sim t.kind;
       let mem_bytes = Tb_sim.Cost_model.handle_bytes t.sim.Tb_sim.Sim.cost t.kind in
       Tb_sim.Sim.claim_bytes t.sim mem_bytes;
-      let class_id, value = load () in
-      let h = Handle.make ~rid ~class_id ~value ~mem_bytes in
+      let class_id, repr = load () in
+      let h = Handle.make ~rid ~class_id ~repr ~mem_bytes in
       Hashtbl.replace t.table rid h;
       h
 

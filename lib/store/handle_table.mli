@@ -19,9 +19,9 @@ val kind : t -> Tb_sim.Cost_model.handle_kind
 (** [acquire t rid ~load] returns the object's Handle with its refcount
     bumped.  A resident Handle (live or zombie) is reused for almost
     nothing; otherwise a new one is allocated (charged) and [load] is called
-    to materialise the object. *)
+    to produce the object's representation (usually a lazy {!Handle.View}). *)
 val acquire :
-  t -> Tb_storage.Rid.t -> load:(unit -> int * Value.t) -> Handle.t
+  t -> Tb_storage.Rid.t -> load:(unit -> int * Handle.repr) -> Handle.t
 
 (** [unreference t h] drops one reference; at zero the Handle becomes a
     zombie and may be destroyed later. Raises [Invalid_argument] if the

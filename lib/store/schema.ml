@@ -10,7 +10,17 @@ type ty =
   | TTuple of (string * ty) list
 
 type cls = { cls_name : string; attrs : (string * ty) list }
-type t = { classes : cls array; roots : (string * ty) list }
+
+(* [attr_names]/[attr_slots] are compiled once per schema: the attribute
+   list of each class as a positional array and its inverse.  Hot-path
+   attribute resolution (get_att, predicate evaluation, payload harvest) is
+   a hash probe or an array load instead of an assoc-list walk. *)
+type t = {
+  classes : cls array;
+  roots : (string * ty) list;
+  attr_names : string array array;
+  attr_slots : (string, int) Hashtbl.t array;
+}
 
 let rec check_ty class_names = function
   | TInt | TReal | TBool | TChar | TString -> ()
@@ -33,7 +43,19 @@ let make ~classes ~roots =
     (fun c -> List.iter (fun (_, ty) -> check_ty names ty) c.attrs)
     classes;
   List.iter (fun (_, ty) -> check_ty names ty) roots;
-  { classes = Array.of_list classes; roots }
+  let classes = Array.of_list classes in
+  let attr_names =
+    Array.map (fun c -> Array.of_list (List.map fst c.attrs)) classes
+  in
+  let attr_slots =
+    Array.map
+      (fun names ->
+        let tbl = Hashtbl.create (2 * Array.length names) in
+        Array.iteri (fun i n -> Hashtbl.replace tbl n i) names;
+        tbl)
+      attr_names
+  in
+  { classes; roots; attr_names; attr_slots }
 
 let classes t = Array.to_list t.classes
 let roots t = t.roots
@@ -54,6 +76,10 @@ let class_id t name =
 let class_of_id t id =
   if id < 0 || id >= Array.length t.classes then raise Not_found
   else t.classes.(id)
+
+let attr_count t ~class_id = Array.length t.attr_names.(class_id)
+let attr_name t ~class_id slot = t.attr_names.(class_id).(slot)
+let attr_slot t ~class_id ~attr = Hashtbl.find t.attr_slots.(class_id) attr
 
 let attr_type t ~cls ~attr =
   let c = find_class t cls in

@@ -36,6 +36,22 @@ val class_id : t -> string -> int
 
 val class_of_id : t -> int -> cls
 
+(** {2 Compiled attribute slots}
+
+    Attribute positions in schema order, compiled once by {!make}.  A slot
+    is both the index into the class's on-disk field sequence and into a
+    Handle's memo array. *)
+
+val attr_count : t -> class_id:int -> int
+
+(** [attr_name t ~class_id slot] — raises [Invalid_argument] if the slot is
+    out of range. *)
+val attr_name : t -> class_id:int -> int -> string
+
+(** [attr_slot t ~class_id ~attr] — raises [Not_found] if the class has no
+    such attribute. *)
+val attr_slot : t -> class_id:int -> attr:string -> int
+
 (** [attr_type t ~cls ~attr] — raises [Not_found] if the class or attribute
     is unknown. *)
 val attr_type : t -> cls:string -> attr:string -> ty

@@ -1,0 +1,39 @@
+(* The regression gate behind the hot-path overhaul: every real-time
+   optimisation (lazy record decode, slot-compiled attributes, packed page
+   ids, the intrusive LRU) must be invisible to the simulated cost model.
+   The golden file was captured from the engine before the optimisations
+   landed; re-running the same fig6/fig7/fig9/fig11-fig15 workload must
+   reproduce it bit for bit — the simulated clock is compared as raw float
+   bits, alongside every Counters field, the result cardinality and the
+   simulated memory peak.
+
+   To re-capture after an *intentional* cost-model change:
+     dune exec bench/fingerprint_dump.exe > test/counter_golden_scale40.txt *)
+
+let golden_file = "counter_golden_scale40.txt"
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_counters_match_golden () =
+  let golden = read_lines golden_file in
+  let got = Tb_core.Fingerprint.collect ~scale:40 in
+  Alcotest.(check int) "fingerprint line count" (List.length golden)
+    (List.length got);
+  List.iter2
+    (fun want have -> Alcotest.(check string) "fingerprint line" want have)
+    golden got
+
+let suite =
+  [
+    Alcotest.test_case "counters: golden fingerprint (scale 40)" `Slow
+      test_counters_match_golden;
+  ]

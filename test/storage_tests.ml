@@ -153,6 +153,29 @@ let page_model_test =
         model;
       Page_layout.live_count p = Hashtbl.length model)
 
+(* --- Page ids --- *)
+
+let test_page_id_packing () =
+  (* Page ids pack into a single immediate int: the accessors must invert
+     [make] across the whole supported range. *)
+  List.iter
+    (fun (file, index) ->
+      let id = Page_id.make ~file ~index in
+      check_int "file" file (Page_id.file id);
+      check_int "index" index (Page_id.index id))
+    [ (0, 0); (7, 123_456_789); (1 lsl 20, (1 lsl 40) - 1) ];
+  check_bool "negative file rejected" true
+    (match Page_id.make ~file:(-1) ~index:0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "oversized index rejected" true
+    (match Page_id.make ~file:0 ~index:(1 lsl 40) with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "equal/compare agree" true
+    (Page_id.equal (Page_id.make ~file:1 ~index:2) (Page_id.make ~file:1 ~index:2)
+    && Page_id.compare (Page_id.make ~file:1 ~index:2) (Page_id.make ~file:2 ~index:0) < 0)
+
 (* --- Buffer pool --- *)
 
 let pid i = Page_id.make ~file:0 ~index:i
@@ -189,6 +212,68 @@ let pool_never_exceeds_capacity =
       let pool = Buffer_pool.create ~capacity_pages:cap in
       List.iter (fun i -> ignore (Buffer_pool.add pool (pid i) (page ()))) adds;
       Buffer_pool.size pool <= cap)
+
+let expect_victim pool id p want =
+  match Buffer_pool.add pool id p with
+  | Some (vid, _) ->
+      check_bool
+        (Printf.sprintf "victim is %d" (Page_id.index want))
+        true
+        (Page_id.equal vid want)
+  | None -> Alcotest.fail "expected eviction"
+
+let test_pool_interleaved_order () =
+  (* The eviction order must track an interleaving of find/add/remove, not
+     just insertion order. *)
+  let pool = Buffer_pool.create ~capacity_pages:3 in
+  ignore (Buffer_pool.add pool (pid 0) (page ()));
+  ignore (Buffer_pool.add pool (pid 1) (page ()));
+  ignore (Buffer_pool.add pool (pid 2) (page ()));
+  (* Recency (old -> new) is 0 1 2; touch 0 and drop 1: now 2 0. *)
+  ignore (Buffer_pool.find pool (pid 0));
+  Buffer_pool.remove pool (pid 1);
+  check_int "remove shrinks" 2 (Buffer_pool.size pool);
+  check_bool "freed slot absorbs an add" true
+    (Buffer_pool.add pool (pid 3) (page ()) = None);
+  (* Chain is 2 0 3: successive adds evict in exactly that order. *)
+  expect_victim pool (pid 4) (page ()) (pid 2);
+  expect_victim pool (pid 5) (page ()) (pid 0);
+  expect_victim pool (pid 6) (page ()) (pid 3);
+  (* iter agrees with the chain, LRU first. *)
+  let order = ref [] in
+  Buffer_pool.iter pool (fun id _ -> order := Page_id.index id :: !order);
+  Alcotest.(check (list int)) "iter order" [ 4; 5; 6 ] (List.rev !order)
+
+let test_pool_capacity_one () =
+  let pool = Buffer_pool.create ~capacity_pages:1 in
+  let p0 = page () in
+  check_bool "first add fits" true (Buffer_pool.add pool (pid 0) p0 = None);
+  (match Buffer_pool.add pool (pid 1) (page ()) with
+  | Some (vid, vp) ->
+      check_bool "sole resident is the victim" true (Page_id.equal vid (pid 0));
+      check_bool "victim page returned" true (vp == p0)
+  | None -> Alcotest.fail "expected eviction");
+  check_bool "newcomer resident" true (Buffer_pool.mem pool (pid 1));
+  check_bool "victim gone" false (Buffer_pool.mem pool (pid 0));
+  check_int "still one entry" 1 (Buffer_pool.size pool);
+  (* The recycled node keeps working: find and evict again. *)
+  check_bool "find newcomer" true (Buffer_pool.find pool (pid 1) <> None);
+  expect_victim pool (pid 2) (page ()) (pid 1)
+
+let test_pool_clear_resets_chain () =
+  let pool = Buffer_pool.create ~capacity_pages:2 in
+  ignore (Buffer_pool.add pool (pid 0) (page ()));
+  ignore (Buffer_pool.add pool (pid 1) (page ()));
+  Buffer_pool.clear pool;
+  check_int "empty" 0 (Buffer_pool.size pool);
+  let seen = ref 0 in
+  Buffer_pool.iter pool (fun _ _ -> incr seen);
+  check_int "iter sees nothing" 0 !seen;
+  check_bool "stale id gone" false (Buffer_pool.mem pool (pid 0));
+  (* The chain restarts from scratch; no stale node resurfaces. *)
+  ignore (Buffer_pool.add pool (pid 2) (page ()));
+  ignore (Buffer_pool.add pool (pid 3) (page ()));
+  expect_victim pool (pid 4) (page ()) (pid 2)
 
 (* --- Cache stack --- *)
 
@@ -359,10 +444,16 @@ let suite =
     Alcotest.test_case "page: update in place and grow" `Quick
       test_page_update_in_place_and_grow;
     QCheck_alcotest.to_alcotest page_model_test;
+    Alcotest.test_case "page id: packing roundtrip" `Quick test_page_id_packing;
     Alcotest.test_case "pool: LRU eviction" `Quick test_pool_lru_eviction;
     Alcotest.test_case "pool: re-add refreshes recency" `Quick
       test_pool_readd_refreshes;
     QCheck_alcotest.to_alcotest pool_never_exceeds_capacity;
+    Alcotest.test_case "pool: interleaved find/add/remove order" `Quick
+      test_pool_interleaved_order;
+    Alcotest.test_case "pool: capacity one" `Quick test_pool_capacity_one;
+    Alcotest.test_case "pool: clear resets the chain" `Quick
+      test_pool_clear_resets_chain;
     Alcotest.test_case "stack: layer charging" `Quick test_stack_charges_layers;
     Alcotest.test_case "stack: server absorbs client evictions" `Quick
       test_stack_server_hit_after_client_eviction;

@@ -67,7 +67,39 @@ let codec_roundtrip =
   QCheck.Test.make ~name:"codec: roundtrip" ~count:500 (QCheck.make value_gen)
     (fun v ->
       let b = Codec.encode v in
-      Bytes.length b = Codec.encoded_size v && Value.equal v (Codec.decode_exn b))
+      Bytes.length b = Codec.encoded_size v
+      && Value.equal v (Codec.decode_exn b)
+      && Codec.skip b ~pos:0 = Bytes.length b)
+
+let test_codec_every_constructor () =
+  (* One value per constructor — including [Big_set], which the generator
+     above never produces — must round-trip, and [skip] must consume
+     exactly the bytes [decode] would. *)
+  let rid = Rid.make ~file:3 ~page:17 ~slot:5 in
+  let values =
+    [
+      Value.Nil;
+      Value.Int (-123_456);
+      Value.Real 3.5;
+      Value.Bool true;
+      Value.Char 'x';
+      Value.String "hello";
+      Value.String "";
+      Value.Ref rid;
+      Value.Tuple [ ("a", Value.Int 1); ("b", Value.Set [ Value.Int 2 ]) ];
+      Value.Tuple [];
+      Value.Set [ Value.Int 1; Value.Nil ];
+      Value.List [ Value.String ""; Value.Bool false ];
+      Value.Big_set rid;
+    ]
+  in
+  List.iter
+    (fun v ->
+      let b = Codec.encode v in
+      check_bool "roundtrip" true (Value.equal v (Codec.decode_exn b));
+      check_int "skip consumes the whole encoding" (Bytes.length b)
+        (Codec.skip b ~pos:0))
+    values
 
 let test_codec_int_is_4_bytes () =
   (* The paper counts 4 bytes per integer, 8 per reference. *)
@@ -182,7 +214,7 @@ let test_header_slot_growth () =
 
 (* --- Handle table --- *)
 
-let dummy_load () = (0, Value.Int 1)
+let dummy_load () = (0, Handle.Whole (Value.Int 1))
 
 let test_handles_refcount_and_zombies () =
   let sim = fresh_sim () in
@@ -555,6 +587,36 @@ let test_db_insert_and_read () =
   check_string "class name" "Patient" (Database.class_name db h);
   Database.unref db h
 
+let test_db_lazy_handle_matches_read_object () =
+  (* A Handle decodes attributes on demand; whatever the access order, what
+     it returns must agree with the eager [read_object] decode. *)
+  let _, db = mk_db () in
+  let clients = List.init 3 (fun i -> Value.Ref (Rid.make ~file:1 ~page:i ~slot:0)) in
+  let prid = Database.insert_object db ~cls:"Provider" (provider ~clients "Lazy" 42) in
+  let _, whole = Database.read_object db prid in
+  let h = Database.acquire db prid in
+  (* Partial decode: touch one attribute, repeatedly (memoized). *)
+  check_int "upin" 42 (Value.to_int (Database.get_att db h "upin"));
+  check_bool "repeat access returns the memoized value" true
+    (Database.get_att db h "upin" == Database.get_att db h "upin");
+  (* Slot-compiled access sees the same attribute. *)
+  let slot = Database.attr_slot db ~cls:"Provider" "name" in
+  check_string "slot access" "Lazy"
+    (Value.to_string_exn (Database.get_att_slot db h slot));
+  (* Every attribute agrees with the eager decoder... *)
+  (match whole with
+  | Value.Tuple fields ->
+      List.iter
+        (fun (name, v) ->
+          check_bool ("attr " ^ name) true
+            (Value.equal v (Database.get_att db h name)))
+        fields
+  | _ -> Alcotest.fail "expected tuple");
+  (* ...and so does the fully materialized view. *)
+  check_bool "handle_value equals read_object" true
+    (Value.equal whole (Database.handle_value db h));
+  Database.unref db h
+
 let test_db_conformance_enforced () =
   let _, db = mk_db () in
   check_bool "bad value rejected" true
@@ -687,6 +749,8 @@ let suite =
   [
     Alcotest.test_case "value: fields" `Quick test_value_field;
     QCheck_alcotest.to_alcotest codec_roundtrip;
+    Alcotest.test_case "codec: every constructor roundtrips and skips" `Quick
+      test_codec_every_constructor;
     Alcotest.test_case "codec: paper byte sizes" `Quick test_codec_int_is_4_bytes;
     Alcotest.test_case "schema: validation" `Quick test_schema_validation;
     Alcotest.test_case "schema: conformance" `Quick test_schema_conforms;
@@ -727,6 +791,8 @@ let suite =
     Alcotest.test_case "txn: load mode skips the log" `Quick
       test_txn_load_mode_free;
     Alcotest.test_case "db: insert/read/handle" `Quick test_db_insert_and_read;
+    Alcotest.test_case "db: lazy handle matches read_object" `Quick
+      test_db_lazy_handle_matches_read_object;
     Alcotest.test_case "db: conformance enforced" `Quick
       test_db_conformance_enforced;
     Alcotest.test_case "db: large sets spill" `Quick test_db_large_set_spills;
