@@ -4,31 +4,77 @@
      dune exec bench/perf_gate.exe              — full run (0.5 s/bench quota)
      dune exec bench/perf_gate.exe -- --smoke   — quick sanity run for CI
      dune exec bench/perf_gate.exe -- --out F   — write the JSON elsewhere
+     dune exec bench/perf_gate.exe -- --check [--tolerance PCT] [--baseline F]
+        — compare fresh numbers against the committed baseline and exit
+          non-zero when any benchmark regressed beyond the tolerance
+          (default 25%).  Check mode does not rewrite the baseline unless
+          --out is given explicitly.
 
    Runs the shared Bechamel micro suite ({!Micro}: one benchmark per paper
    table) and writes BENCH_treebench.json:
 
      {"benchmarks": [{"name": "fig6.index_scan", "ns_per_op": 123.4}, ...]}
 
-   Compare ns_per_op against a baseline capture to catch wall-clock
-   regressions.  These numbers are real time only — the simulated cost
-   model has its own gate, the counter-invariance test in
-   test/invariance_tests.ml. *)
+   These numbers are real time only — the simulated cost model has its own
+   gate, the counter-invariance test in test/invariance_tests.ml. *)
 
 let usage msg =
-  Printf.eprintf "%s\nusage: perf_gate [--smoke] [--out FILE]\n" msg;
+  Printf.eprintf
+    "%s\n\
+     usage: perf_gate [--smoke] [--out FILE] [--check] [--tolerance PCT] \
+     [--baseline FILE]\n"
+    msg;
   exit 2
+
+(* Parse the exact shape this program writes: one
+     {"name": "...", "ns_per_op": 123.4}
+   object per line.  Not a JSON parser — just the inverse of our printer. *)
+let read_baseline path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "perf_gate: cannot read baseline: %s\n" msg;
+      exit 1
+  in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       try Scanf.sscanf line "{\"name\": %S, \"ns_per_op\": %f" (fun name ns ->
+               rows := (name, ns) :: !rows)
+       with Scanf.Scan_failure _ | End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
 
 let () =
   let smoke = ref false in
-  let out = ref "BENCH_treebench.json" in
+  let check = ref false in
+  let tolerance = ref 25.0 in
+  let baseline = ref "BENCH_treebench.json" in
+  let out = ref None in
   let rec go = function
     | [] -> ()
     | "--smoke" :: rest ->
         smoke := true;
         go rest
+    | "--check" :: rest ->
+        check := true;
+        go rest
+    | "--tolerance" :: pct :: rest -> (
+        match float_of_string_opt pct with
+        | Some v when v >= 0.0 ->
+            tolerance := v;
+            go rest
+        | Some _ | None -> usage (Printf.sprintf "bad tolerance %S" pct))
+    | [ "--tolerance" ] -> usage "--tolerance requires a percentage"
+    | "--baseline" :: path :: rest ->
+        baseline := path;
+        go rest
+    | [ "--baseline" ] -> usage "--baseline requires a path"
     | "--out" :: path :: rest ->
-        out := path;
+        out := Some path;
         go rest
     | [ "--out" ] -> usage "--out requires a path"
     | arg :: _ -> usage (Printf.sprintf "unknown argument %S" arg)
@@ -40,18 +86,60 @@ let () =
     prerr_endline "perf_gate: no estimates produced";
     exit 1
   end;
-  let oc = open_out !out in
-  output_string oc "{\n  \"benchmarks\": [\n";
-  let last = List.length rows - 1 in
-  List.iteri
-    (fun i (name, est) ->
-      Printf.fprintf oc "    {\"name\": %S, \"ns_per_op\": %.1f}%s\n" name est
-        (if i = last then "" else ","))
-    rows;
-  output_string oc "  ]\n}\n";
-  close_out oc;
-  Printf.printf "perf_gate: %d benchmarks -> %s%s\n" (List.length rows) !out
-    (if !smoke then " (smoke quota)" else "");
-  List.iter
-    (fun (name, est) -> Printf.printf "  %-36s %14.1f ns/op\n" name est)
-    rows
+  (* Capture: always when not checking; in check mode only on explicit
+     --out, so a check never clobbers the baseline it compares against. *)
+  let write_to =
+    match (!out, !check) with
+    | Some path, _ -> Some path
+    | None, false -> Some "BENCH_treebench.json"
+    | None, true -> None
+  in
+  (match write_to with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc "{\n  \"benchmarks\": [\n";
+      let last = List.length rows - 1 in
+      List.iteri
+        (fun i (name, est) ->
+          Printf.fprintf oc "    {\"name\": %S, \"ns_per_op\": %.1f}%s\n" name
+            est
+            (if i = last then "" else ","))
+        rows;
+      output_string oc "  ]\n}\n";
+      close_out oc;
+      Printf.printf "perf_gate: %d benchmarks -> %s%s\n" (List.length rows)
+        path
+        (if !smoke then " (smoke quota)" else ""));
+  if not !check then
+    List.iter
+      (fun (name, est) -> Printf.printf "  %-36s %14.1f ns/op\n" name est)
+      rows
+  else begin
+    let base = read_baseline !baseline in
+    if base = [] then begin
+      Printf.eprintf "perf_gate: no baseline rows in %s\n" !baseline;
+      exit 1
+    end;
+    Printf.printf "perf_gate: checking %d benchmarks against %s (tolerance %+.0f%%)\n"
+      (List.length rows) !baseline !tolerance;
+    let regressions = ref 0 in
+    List.iter
+      (fun (name, est) ->
+        match List.assoc_opt name base with
+        | None -> Printf.printf "  %-36s %14.1f ns/op  (no baseline)\n" name est
+        | Some b ->
+            let delta = if b > 0.0 then (est -. b) /. b *. 100.0 else 0.0 in
+            let regressed = est > b *. (1.0 +. (!tolerance /. 100.0)) in
+            if regressed then incr regressions;
+            Printf.printf "  %-36s %14.1f ns/op  baseline %14.1f  %+7.1f%%%s\n"
+              name est b delta
+              (if regressed then "  REGRESSION" else ""))
+      rows;
+    if !regressions > 0 then begin
+      Printf.eprintf "perf_gate: %d benchmark(s) regressed beyond %.0f%%\n"
+        !regressions !tolerance;
+      exit 1
+    end;
+    print_endline "perf_gate: no regressions"
+  end

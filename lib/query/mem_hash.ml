@@ -1,6 +1,11 @@
+(* A group holds its elements newest-first (O(1) insert) and memoizes the
+   insertion-order view that probes return, so a group probed many times —
+   every CHJ inner loop — is reversed once, not once per probe. *)
+type 'a group = { mutable rev : 'a list; mutable fwd : 'a list option }
+
 type 'a t = {
   sim : Tb_sim.Sim.t;
-  table : (Tb_storage.Rid.t, 'a list ref) Hashtbl.t;
+  table : (Tb_storage.Rid.t, 'a group) Hashtbl.t;
   mutable elements : int;
   mutable bytes : int;
   mutable disposed : bool;
@@ -17,10 +22,11 @@ let add t ~key ~payload_bytes v =
   let cost =
     match Hashtbl.find_opt t.table key with
     | Some group ->
-        group := v :: !group;
+        group.rev <- v :: group.rev;
+        group.fwd <- None;
         entry_overhead + payload_bytes
     | None ->
-        Hashtbl.replace t.table key (ref [ v ]);
+        Hashtbl.replace t.table key { rev = [ v ]; fwd = None };
         group_overhead + entry_overhead + payload_bytes
   in
   t.elements <- t.elements + 1;
@@ -29,9 +35,16 @@ let add t ~key ~payload_bytes v =
   Tb_sim.Sim.charge_hash_insert t.sim
 
 let find t ~key =
+  if t.disposed then invalid_arg "Mem_hash.find: disposed";
   Tb_sim.Sim.charge_hash_probe t.sim;
   match Hashtbl.find_opt t.table key with
-  | Some group -> List.rev !group
+  | Some group -> (
+      match group.fwd with
+      | Some l -> l
+      | None ->
+          let l = List.rev group.rev in
+          group.fwd <- Some l;
+          l)
   | None -> []
 
 let group_count t = Hashtbl.length t.table

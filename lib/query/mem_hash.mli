@@ -22,7 +22,9 @@ val create : Tb_sim.Sim.t -> 'a t
 val add : 'a t -> key:Tb_storage.Rid.t -> payload_bytes:int -> 'a -> unit
 
 (** [find t ~key] is [key]'s group (insertion order), charging one probe;
-    empty when absent. *)
+    empty when absent.  The insertion-order view is memoized per group, so
+    repeated probes of the same key do not re-reverse it.
+    Raises [Invalid_argument] after {!dispose}, as {!add} does. *)
 val find : 'a t -> key:Tb_storage.Rid.t -> 'a list
 
 val group_count : 'a t -> int

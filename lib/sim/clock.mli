@@ -5,7 +5,11 @@
     anything else" because it tracks I/Os and RPCs; here it is defined as
     exactly their weighted sum. *)
 
-type t
+(** Exposed representation so per-event hot paths (the B+-tree bulk append
+    loop) can advance the clock with a plain float store instead of a
+    cross-module call.  Inlined advances must mirror {!advance} exactly:
+    a single [now_ms <- now_ms +. ms] with a non-negative [ms]. *)
+type t = { mutable now_ms : float }
 
 val create : unit -> t
 

@@ -75,6 +75,11 @@ let fetch_for_write t id =
   Page_layout.set_dirty page true;
   page
 
+(* Charge-free, recency-free client-pool membership probe: lets a caller
+   prove that a [fetch] would be a client hit without simulating anything
+   (the B+-tree's bulk-build fast path). *)
+let resident t id = Buffer_pool.mem t.client id
+
 let flush t =
   (* Client-side dirty pages cost an RPC each on their way down. *)
   Buffer_pool.iter t.client (fun _id page ->

@@ -31,6 +31,11 @@ val fetch : t -> Page_id.t -> Page_layout.t
 (** Like [fetch], and marks the page dirty. *)
 val fetch_for_write : t -> Page_id.t -> Page_layout.t
 
+(** [resident t id] is whether a [fetch] would be a client-cache hit.
+    Charges nothing and does not refresh recency — a host-level probe for
+    callers that replay hit charges themselves (the B+-tree bulk build). *)
+val resident : t -> Page_id.t -> bool
+
 (** Push every dirty page down to disk, charging writes. *)
 val flush : t -> unit
 

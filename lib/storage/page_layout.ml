@@ -7,7 +7,7 @@
    Directory entry for slot i, at [size - 4*(i+1)]: offset u16, length u16.
    offset = 0 marks a dead slot (live offsets are always >= header_size). *)
 
-type t = { buf : Bytes.t; size : int; mutable dirty : bool }
+type t = { buf : Bytes.t; size : int; mutable dirty : bool; mutable version : int }
 
 let header_size = 4
 let dir_entry = 4
@@ -16,11 +16,12 @@ let create ~size =
   if size < 64 || size > 65528 then invalid_arg "Page_layout.create: size";
   let buf = Bytes.make size '\000' in
   Bytes.set_uint16_le buf 2 header_size;
-  { buf; size; dirty = false }
+  { buf; size; dirty = false; version = 0 }
 
 let size t = t.size
 let dirty t = t.dirty
 let set_dirty t d = t.dirty <- d
+let version t = t.version
 let slot_count t = Bytes.get_uint16_le t.buf 0
 let free_off t = Bytes.get_uint16_le t.buf 2
 let set_slot_count t n = Bytes.set_uint16_le t.buf 0 n
@@ -91,7 +92,8 @@ let compact t =
       cursor := !cursor + len)
     by_offset;
   set_free_off t !cursor;
-  t.dirty <- true
+  t.dirty <- true;
+  t.version <- t.version + 1
 
 let contiguous_free t = dir_start t - free_off t
 
@@ -114,6 +116,7 @@ let insert t body =
     set_slot t slot ~off ~len;
     set_free_off t (off + len);
     t.dirty <- true;
+    t.version <- t.version + 1;
     Some slot
   end
 
@@ -126,11 +129,28 @@ let read t slot =
   if off = 0 then raise Not_found;
   Bytes.sub t.buf off (slot_length t slot)
 
+(* Zero-copy access for owners that patch a record's bytes in place (the
+   B+-tree's node editing): the backing buffer plus a live record's span.
+   A caller that writes through [buffer] must call [record_modified] so the
+   dirty bit and the version counter stay truthful. *)
+let buffer t = t.buf
+
+let record_span t slot =
+  check_slot t slot;
+  let off = slot_offset t slot in
+  if off = 0 then raise Not_found;
+  (off, slot_length t slot)
+
+let record_modified t =
+  t.dirty <- true;
+  t.version <- t.version + 1
+
 let delete t slot =
   check_slot t slot;
   if slot_offset t slot <> 0 then begin
     set_slot t slot ~off:0 ~len:0;
-    t.dirty <- true
+    t.dirty <- true;
+    t.version <- t.version + 1
   end
 
 let update t slot body =
@@ -145,6 +165,7 @@ let update t slot body =
     Bytes.blit body 0 t.buf off len;
     set_slot t slot ~off ~len;
     t.dirty <- true;
+    t.version <- t.version + 1;
     true
   end
   else if free_bytes t + old_len >= len then begin
@@ -156,6 +177,7 @@ let update t slot body =
     set_slot t slot ~off ~len;
     set_free_off t (off + len);
     t.dirty <- true;
+    t.version <- t.version + 1;
     true
   end
   else false

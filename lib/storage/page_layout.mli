@@ -21,6 +21,13 @@ val size : t -> int
 val dirty : t -> bool
 val set_dirty : t -> bool -> unit
 
+(** Write-version counter: bumped by every mutation of the page's contents
+    ([insert], [update], [delete], internal compaction, and
+    [record_modified]).  Decoded views of a page (the B+-tree's node cache)
+    key their validity on [(page, version)]: equal version means the bytes
+    have not changed since the view was built. *)
+val version : t -> int
+
 (** Number of slot-directory entries (live or dead). *)
 val slot_count : t -> int
 
@@ -46,6 +53,28 @@ val insert : t -> bytes -> int option
 (** [read t slot] is a copy of the record body.
     Raises [Not_found] for dead or out-of-range slots. *)
 val read : t -> int -> bytes
+
+(** {2 In-place record patching}
+
+    A record owner that knows its own encoding (the B+-tree: one node per
+    page) can edit record bytes directly instead of building a fresh body
+    and calling [update] — an equal-length [update] copies the whole body,
+    while a patch blits only the bytes that moved. *)
+
+(** The page's backing buffer.  Writes outside a span obtained from
+    [record_span], or without a following [record_modified], corrupt the
+    page. *)
+val buffer : t -> Bytes.t
+
+(** [record_span t slot] is the live record's [(offset, length)] within
+    [buffer].  The span is stable until a different record on the page is
+    inserted, resized or deleted (those may compact the page).
+    Raises [Not_found] for dead or out-of-range slots. *)
+val record_span : t -> int -> int * int
+
+(** Declare that record bytes were patched through [buffer]: marks the page
+    dirty and bumps [version]. *)
+val record_modified : t -> unit
 
 (** [delete t slot] frees the slot (idempotent on dead slots within range).
     Raises [Not_found] if out of range. *)

@@ -18,14 +18,17 @@ let hash t = Hashtbl.hash (t.file, t.page, t.slot)
    paper's size accounting. Nil encodes as all-ones. *)
 let on_disk_bytes = 8
 
+let encode_into t b ~pos =
+  if is_nil t then Bytes.fill b pos on_disk_bytes '\xff'
+  else begin
+    Bytes.set_uint16_le b pos t.file;
+    Bytes.set_int32_le b (pos + 2) (Int32.of_int t.page);
+    Bytes.set_uint16_le b (pos + 6) t.slot
+  end
+
 let encode t =
   let b = Bytes.create on_disk_bytes in
-  if is_nil t then Bytes.fill b 0 on_disk_bytes '\xff'
-  else begin
-    Bytes.set_uint16_le b 0 t.file;
-    Bytes.set_int32_le b 2 (Int32.of_int t.page);
-    Bytes.set_uint16_le b 6 t.slot
-  end;
+  encode_into t b ~pos:0;
   b
 
 let decode b ~pos =

@@ -28,6 +28,10 @@ val on_disk_bytes : int
 (** Fixed-width binary encoding, [on_disk_bytes] long. *)
 val encode : t -> bytes
 
+(** [encode_into t b ~pos] writes the encoding at [pos] without
+    allocating. *)
+val encode_into : t -> Bytes.t -> pos:int -> unit
+
 val decode : bytes -> pos:int -> t
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

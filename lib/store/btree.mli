@@ -28,12 +28,27 @@ val page_count : t -> int
     ignored. *)
 val insert : t -> key:int -> rid:Tb_storage.Rid.t -> unit
 
+(** [bulk_add t run] inserts every (key, rid) pair of [run] in sorted
+    (key, rid) order — exactly equivalent, in both resulting tree and
+    simulated charges, to sorting [run] and looping {!insert} over it.
+    On an empty tree the host work is done by an append-only fast path
+    along the remembered rightmost spine (the charges it replays are the
+    per-entry descent's), so building from a sorted run costs O(n) host
+    time instead of O(n · node size). *)
+val bulk_add : t -> (int * Tb_storage.Rid.t) array -> unit
+
+(** [bulk_build stack ~name run] is {!create} followed by {!bulk_add}. *)
+val bulk_build :
+  Tb_storage.Cache_stack.t -> name:string -> (int * Tb_storage.Rid.t) array -> t
+
 (** [delete t ~key ~rid] removes the exact entry if present; returns whether
     it was found.  Underfull nodes borrow from or merge with a sibling, and
     the tree height shrinks when the root empties. *)
 val delete : t -> key:int -> rid:Tb_storage.Rid.t -> bool
 
-(** [search t ~key] is every Rid stored under [key], in Rid order. *)
+(** [search t ~key] is every Rid stored under [key], in ascending Rid
+    order (entries live in the leaves in (key, rid) order and the walk
+    collects them front-to-back in a single pass). *)
 val search : t -> key:int -> Tb_storage.Rid.t list
 
 (** [range t ?lo ?hi f] visits entries with [lo <= key < hi] in key order
