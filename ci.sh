@@ -9,4 +9,7 @@ cd "$(dirname "$0")"
 
 dune build @all
 dune runtest
+# Exhaustive crash-recovery fuzz: crash at every durable write of the
+# fixed-seed workload (the default runtest pass strides the same sweep).
+TREEBENCH_RECOVERY_FULL=1 dune exec test/test_main.exe -- test recovery
 dune exec bench/perf_gate.exe -- --smoke --check --tolerance 150

@@ -8,6 +8,11 @@
     The golden file recorded from the engine as of the perf overhaul
     ([test/counter_golden_scale40.txt]) pins these lines down: real-time
     optimisations of the engine must leave every simulated number
-    bit-identical, which is what the invariance test asserts. *)
+    bit-identical, which is what the invariance test asserts.
+
+    Logging/recovery counters (WAL appends, redo/undo pages, read retries)
+    join the line as a [wal=… redo=… undo=… rr=…] suffix only when any is
+    non-zero, so fault-free measured runs — which never log — keep matching
+    the recorded golden lines byte for byte. *)
 
 val collect : scale:int -> string list

@@ -23,6 +23,7 @@ type t = {
   result_append_load_us : float;
   swap_fault_ms : float;
   thrash_factor : float;
+  read_retry_backoff_ms : float;
   ram_bytes : int;
   reserved_bytes : int;
 }
@@ -53,6 +54,7 @@ let default =
     result_append_load_us = 30.0;
     swap_fault_ms = 10.0;
     thrash_factor = 4.0;
+    read_retry_backoff_ms = 5.0;
     ram_bytes = mib 128;
     (* 4 MB server cache + 32 MB client cache + ~28 MB of system, window
        manager and AFS overhead the paper could not evaluate. *)

@@ -46,6 +46,9 @@ type t = {
   result_append_load_us : float;  (** same, in transaction-off mode *)
   swap_fault_ms : float;      (** one page fault once memory is exceeded *)
   thrash_factor : float;      (** how sharply fault probability rises *)
+  read_retry_backoff_ms : float;
+      (** settle time before re-issuing a page read after a transient disk
+          error (fault injection only; never charged on the healthy path) *)
   ram_bytes : int;            (** physical memory (128 MB on the Sparc 20) *)
   reserved_bytes : int;
       (** memory not available to query operators: O2 caches, window

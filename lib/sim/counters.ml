@@ -17,6 +17,10 @@ type t = {
   mutable sort_comparisons : int;
   mutable result_appends : int;
   mutable swap_faults : int;
+  mutable wal_appends : int;
+  mutable redo_pages : int;
+  mutable undo_pages : int;
+  mutable read_retries : int;
 }
 
 let create () =
@@ -39,6 +43,10 @@ let create () =
     sort_comparisons = 0;
     result_appends = 0;
     swap_faults = 0;
+    wal_appends = 0;
+    redo_pages = 0;
+    undo_pages = 0;
+    read_retries = 0;
   }
 
 let reset t =
@@ -59,7 +67,11 @@ let reset t =
   t.hash_probes <- 0;
   t.sort_comparisons <- 0;
   t.result_appends <- 0;
-  t.swap_faults <- 0
+  t.swap_faults <- 0;
+  t.wal_appends <- 0;
+  t.redo_pages <- 0;
+  t.undo_pages <- 0;
+  t.read_retries <- 0
 
 let snapshot t = { t with disk_reads = t.disk_reads }
 
@@ -83,6 +95,10 @@ let diff ~later ~earlier =
     sort_comparisons = later.sort_comparisons - earlier.sort_comparisons;
     result_appends = later.result_appends - earlier.result_appends;
     swap_faults = later.swap_faults - earlier.swap_faults;
+    wal_appends = later.wal_appends - earlier.wal_appends;
+    redo_pages = later.redo_pages - earlier.redo_pages;
+    undo_pages = later.undo_pages - earlier.undo_pages;
+    read_retries = later.read_retries - earlier.read_retries;
   }
 
 let rate misses hits =
@@ -97,8 +113,9 @@ let pp ppf t =
     "@[<v>disk reads/writes: %d/%d@ rpc: %d (%d pages)@ server hit/miss: \
      %d/%d@ client hit/miss: %d/%d@ handles alloc/free/hit: %d/%d/%d@ \
      get_att: %d cmp: %d@ hash ins/probe: %d/%d sortcmp: %d@ result: %d swap \
-     faults: %d@]"
+     faults: %d@ wal appends: %d redo/undo pages: %d/%d read retries: %d@]"
     t.disk_reads t.disk_writes t.rpc_count t.rpc_pages t.server_hits
     t.server_misses t.client_hits t.client_misses t.handle_allocs
     t.handle_frees t.handle_hits t.get_atts t.comparisons t.hash_inserts
     t.hash_probes t.sort_comparisons t.result_appends t.swap_faults
+    t.wal_appends t.redo_pages t.undo_pages t.read_retries

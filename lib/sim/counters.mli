@@ -26,6 +26,10 @@ type t = {
   mutable sort_comparisons : int;
   mutable result_appends : int;
   mutable swap_faults : int;
+  mutable wal_appends : int;  (** log records appended (physiological) *)
+  mutable redo_pages : int;   (** pages restored from after-images at recovery *)
+  mutable undo_pages : int;   (** pages restored from before-images at abort/recovery *)
+  mutable read_retries : int; (** transient read errors retried (fault injection) *)
 }
 
 (** A zeroed counter set. *)

@@ -137,6 +137,27 @@ let charge_sort t n =
     us t (float_of_int cmps *. t.cost.Cost_model.sort_cmp_us)
   end
 
+(* Appending a log record is a memory write into the current log page; the
+   I/O it implies is charged separately, one page write per filled log page
+   (see [Tb_store.Wal]).  Counter only, no clock. *)
+let charge_wal_append t =
+  t.counters.Counters.wal_appends <- t.counters.Counters.wal_appends + 1
+
+let charge_redo_page t =
+  t.counters.Counters.redo_pages <- t.counters.Counters.redo_pages + 1;
+  charge_disk_write t
+
+let charge_undo_page t =
+  t.counters.Counters.undo_pages <- t.counters.Counters.undo_pages + 1;
+  charge_disk_write t
+
+(* A transient read error: the failed read is paid for, plus the settle time
+   before the retry is issued. *)
+let charge_read_retry t =
+  t.counters.Counters.read_retries <- t.counters.Counters.read_retries + 1;
+  charge_disk_read t;
+  Clock.advance t.clock t.cost.Cost_model.read_retry_backoff_ms
+
 let charge_result_append t ~bytes ~standard =
   t.counters.Counters.result_appends <- t.counters.Counters.result_appends + 1;
   us t

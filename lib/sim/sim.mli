@@ -82,6 +82,23 @@ val charge_hash_probe : t -> unit
     Section 4.2). *)
 val charge_sort : t -> int -> unit
 
+(** One log record appended to the write-ahead log.  Counter only: the log's
+    I/O is charged one page write per filled log page by the WAL itself, so
+    the healthy path stays bit-identical to the pre-WAL accounting. *)
+val charge_wal_append : t -> unit
+
+(** One page restored from its after-image during crash recovery (a disk
+    write plus the [redo_pages] counter). *)
+val charge_redo_page : t -> unit
+
+(** One page restored from its before-image during abort or recovery (a disk
+    write plus the [undo_pages] counter). *)
+val charge_undo_page : t -> unit
+
+(** One transient read error: charges the wasted read and the retry backoff
+    from {!Cost_model.t.read_retry_backoff_ms}.  Fault injection only. *)
+val charge_read_retry : t -> unit
+
 (** [charge_result_append t ~bytes ~standard] appends one element to the
     query result.  Under a standard transaction the system builds the
     collection "as if it could become persistent" (Section 4.2), which is

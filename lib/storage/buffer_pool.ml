@@ -62,6 +62,14 @@ let find t id =
 
 let mem t id = Hashtbl.mem t.table id
 
+(* Like [find] but leaves recency untouched: a host-level probe for callers
+   that must not perturb the pools' eviction order (the B+-tree bulk build,
+   the WAL's after-image capture). *)
+let peek t id =
+  match Hashtbl.find_opt t.table id with
+  | None -> None
+  | Some node -> Some node.page
+
 let add t id page =
   match Hashtbl.find_opt t.table id with
   | Some node ->

@@ -19,6 +19,10 @@ val find : t -> Page_id.t -> Page_layout.t option
 
 val mem : t -> Page_id.t -> bool
 
+(** [peek t id] is the cached page without refreshing recency — a pure probe
+    that cannot perturb eviction order. *)
+val peek : t -> Page_id.t -> Page_layout.t option
+
 (** [add t id page] caches [page]; if the pool was full, the least recently
     used entry is evicted and returned.  Re-adding a present id refreshes
     recency and returns [None]. *)

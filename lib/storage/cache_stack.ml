@@ -3,6 +3,8 @@ type t = {
   disk : Disk.t;
   server : Buffer_pool.t;
   client : Buffer_pool.t;
+  mutable fault : Fault.t option;
+  mutable write_observer : (Page_id.t -> Page_layout.t -> unit) option;
 }
 
 let create sim disk ~server_pages ~client_pages =
@@ -11,18 +13,36 @@ let create sim disk ~server_pages ~client_pages =
     disk;
     server = Buffer_pool.create ~capacity_pages:server_pages;
     client = Buffer_pool.create ~capacity_pages:client_pages;
+    fault = None;
+    write_observer = None;
   }
 
 let server_capacity t = Buffer_pool.capacity t.server
 let client_capacity t = Buffer_pool.capacity t.client
 let disk t = t.disk
 let sim t = t.sim
+let set_fault t f = t.fault <- f
+let fault t = t.fault
+let set_write_observer t obs = t.write_observer <- obs
 
-(* Page objects are shared between disk and caches; "writing" a page to disk
-   is therefore pure cost accounting plus clearing the dirty bit. *)
-let write_to_disk t page =
+(* Writing a page to disk: charge the I/O, copy the working bytes into the
+   durable image, clear the dirty bit.  The fault layer decides whether the
+   machine survives the write; a crashing write is not charged (the charge
+   models a completed transfer) and leaves the image untouched — or, torn,
+   half-updated under the wrong checksum. *)
+let write_to_disk t id page =
   if Page_layout.dirty page then begin
+    (match t.fault with
+    | None -> ()
+    | Some f -> (
+        match Fault.on_write f with
+        | Fault.Ok -> ()
+        | Fault.Crash_lost -> raise Fault.Crash
+        | Fault.Crash_torn ->
+            Disk.persist_torn t.disk id page;
+            raise Fault.Crash));
     Tb_sim.Sim.charge_disk_write t.sim;
+    Disk.persist t.disk id page;
     Page_layout.set_dirty page false
   end
 
@@ -30,7 +50,7 @@ let write_to_disk t page =
 let server_add t id page =
   match Buffer_pool.add t.server id page with
   | None -> ()
-  | Some (_vid, victim) -> write_to_disk t victim
+  | Some (vid, victim) -> write_to_disk t vid victim
 
 (* Install a page in the client pool; a dirty victim is shipped back to the
    server (one RPC) and stays dirty there until the server evicts it. *)
@@ -52,8 +72,21 @@ let fetch_from_server t id =
   | None ->
       t.sim.Tb_sim.Sim.counters.Tb_sim.Counters.server_misses <-
         t.sim.Tb_sim.Sim.counters.Tb_sim.Counters.server_misses + 1;
+      (* Transient read errors burn a read plus a backoff each, then the
+         retry succeeds (bounded by the fault layer's retry budget). *)
+      (match t.fault with
+      | None -> ()
+      | Some f ->
+          let budget = Fault.max_read_retries f in
+          let rec attempt k =
+            if k < budget && Fault.read_fails f then begin
+              Tb_sim.Sim.charge_read_retry t.sim;
+              attempt (k + 1)
+            end
+          in
+          attempt 0);
       Tb_sim.Sim.charge_disk_read t.sim;
-      let page = Disk.page t.disk id in
+      let page = Disk.load_page t.disk id in
       server_add t id page;
       page
 
@@ -73,6 +106,11 @@ let fetch t id =
 let fetch_for_write t id =
   let page = fetch t id in
   Page_layout.set_dirty page true;
+  (* The observer (the WAL) runs after the fetch but before the caller can
+     mutate: a first touch captures the page's pre-transaction image, and
+     every touch refreshes the WAL's reference to the current working
+     object.  Charge-free. *)
+  (match t.write_observer with None -> () | Some obs -> obs id page);
   page
 
 (* Charge-free, recency-free client-pool membership probe: lets a caller
@@ -80,16 +118,34 @@ let fetch_for_write t id =
    (the B+-tree's bulk-build fast path). *)
 let resident t id = Buffer_pool.mem t.client id
 
+(* The client-pool working object itself, same contract as [resident]. *)
+let peek t id = Buffer_pool.peek t.client id
+
 let flush t =
   (* Client-side dirty pages cost an RPC each on their way down. *)
-  Buffer_pool.iter t.client (fun _id page ->
+  Buffer_pool.iter t.client (fun id page ->
       if Page_layout.dirty page then begin
         Tb_sim.Sim.charge_rpc t.sim ~pages:1;
-        write_to_disk t page
+        write_to_disk t id page
       end);
-  Buffer_pool.iter t.server (fun _id page -> write_to_disk t page)
+  Buffer_pool.iter t.server (fun id page -> write_to_disk t id page)
 
-let clear t =
-  flush t;
+let drop_pools t =
   Buffer_pool.clear t.client;
   Buffer_pool.clear t.server
+
+(* Drop both pools without flushing: the crash/abort path.  Dirty working
+   pages are simply lost; the durable images stay whatever the last persists
+   made them.  The disk's working-object memos go too — with dirty objects
+   dying unpersisted, byte-equality with the images can no longer be
+   assumed for any of them. *)
+let drop t =
+  drop_pools t;
+  Disk.invalidate_cached t.disk
+
+(* Cold restart: flush, then drop.  After the flush every working object is
+   clean and byte-identical to its durable image, so the disk's memos stay
+   valid — a clean shutdown, unlike a crash, loses no decode work. *)
+let clear t =
+  flush t;
+  drop_pools t

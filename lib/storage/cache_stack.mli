@@ -28,7 +28,9 @@ val client_capacity : t -> int
     boundaries it crosses) and returns it. *)
 val fetch : t -> Page_id.t -> Page_layout.t
 
-(** Like [fetch], and marks the page dirty. *)
+(** Like [fetch], and marks the page dirty.  Every call is reported to the
+    write observer (after the fetch, before the caller can mutate), which is
+    how the WAL captures before-images and tracks working objects. *)
 val fetch_for_write : t -> Page_id.t -> Page_layout.t
 
 (** [resident t id] is whether a [fetch] would be a client-cache hit.
@@ -36,11 +38,33 @@ val fetch_for_write : t -> Page_id.t -> Page_layout.t
     callers that replay hit charges themselves (the B+-tree bulk build). *)
 val resident : t -> Page_id.t -> bool
 
+(** The client-cached working page under the same charge-free, recency-free
+    contract as [resident]. *)
+val peek : t -> Page_id.t -> Page_layout.t option
+
 (** Push every dirty page down to disk, charging writes. *)
 val flush : t -> unit
 
-(** [flush] then drop both caches: cold restart. *)
+(** Drop both caches without flushing — dirty working pages are lost.  This
+    is what a crash does to the volatile state, and what abort does on
+    purpose (the durable images were or will be put right by the log). *)
+val drop : t -> unit
+
+(** [flush] then [drop]: cold restart. *)
 val clear : t -> unit
+
+(** {2 Logging and fault hooks} *)
+
+(** [set_write_observer t obs] installs the callback run on every
+    [fetch_for_write] (the WAL's page-image capture); [None] removes it. *)
+val set_write_observer : t -> (Page_id.t -> Page_layout.t -> unit) option -> unit
+
+(** [set_fault t f] installs a fault-injection layer under the stack: every
+    page persist ticks its crash countdown, every physical read rolls its
+    transient-error dice.  [None] (the default) is the infallible disk. *)
+val set_fault : t -> Fault.t option -> unit
+
+val fault : t -> Fault.t option
 
 (** The underlying disk (for file allocation). *)
 val disk : t -> Disk.t

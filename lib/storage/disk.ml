@@ -1,13 +1,64 @@
+(* The durable medium.  Each page is a byte image plus an out-of-band
+   descriptor word pair: the LSN of the last persist and a checksum of the
+   image as written.  Working [Page_layout.t] objects live only in the
+   buffer pools; [load_page] materializes a fresh copy from the image and
+   [persist] copies working bytes back.  Keeping the two words outside the
+   page bytes preserves the page's record capacity (the golden counter gate
+   pins every capacity-derived count); the page_fill slack is what a real
+   layout would carve them from. *)
+
+type durable = {
+  mutable image : Bytes.t;
+  mutable lsn : int;
+  mutable checksum : int;
+  (* Host-level memo of the last working object whose bytes are known to
+     equal [image]: set by [persist] and [load_page], dropped whenever that
+     guarantee lapses (per-page on [restore_image]/[persist_torn], wholesale
+     via the epoch on [invalidate_cached] — the crash path, where pools
+     vanish with dirty objects in them).  Reusing the object keeps its
+     version counter, so decoded-node caches stay valid across a clean
+     restart exactly as far as the bytes do. *)
+  mutable obj : Page_layout.t option;
+  mutable obj_epoch : int;
+}
+
 type file = {
   name : string;
-  mutable pages : Page_layout.t array;
+  mutable pages : durable array;
   mutable n_pages : int;
 }
 
-type t = { sim : Tb_sim.Sim.t; mutable files : file list; mutable n_files : int }
+type t = {
+  sim : Tb_sim.Sim.t;
+  mutable files : file list;
+  mutable n_files : int;
+  (* Pristine page image and its checksum, computed once: the page size is
+     fixed by the cost model, and [append_page] runs on loader hot paths. *)
+  mutable empty : (Bytes.t * int) option;
+  mutable epoch : int;
+}
 
-let create sim = { sim; files = []; n_files = 0 }
+let create sim = { sim; files = []; n_files = 0; empty = None; epoch = 0 }
 let page_size t = t.sim.Tb_sim.Sim.cost.Tb_sim.Cost_model.page_size
+
+(* FNV-1a with the offset basis folded into 62 bits, so the hash stays an
+   immediate int on 64-bit OCaml.  Mixes a word at a time — this runs over
+   the full page on every persist. *)
+let fnv_basis = 0x0bf29ce484222325
+
+let checksum_of bytes =
+  let n = Bytes.length bytes in
+  let h = ref fnv_basis in
+  let words = n lsr 3 in
+  for i = 0 to words - 1 do
+    h :=
+      (!h lxor Int64.to_int (Bytes.get_int64_le bytes (i lsl 3)))
+      * 0x100000001b3
+  done;
+  for i = words lsl 3 to n - 1 do
+    h := (!h lxor Char.code (Bytes.unsafe_get bytes i)) * 0x100000001b3
+  done;
+  !h land max_int
 
 let new_file t ~name =
   let id = t.n_files in
@@ -32,23 +83,140 @@ let find_file t ~name =
 
 let page_count t id = (get_file t id).n_pages
 
-let page t pid =
+let empty_template t =
+  match t.empty with
+  | Some e -> e
+  | None ->
+      let image = Page_layout.snapshot (Page_layout.create ~size:(page_size t)) in
+      let e = (image, checksum_of image) in
+      t.empty <- Some e;
+      e
+
+let fresh_durable t =
+  let template, checksum = empty_template t in
+  { image = Bytes.copy template; lsn = 0; checksum; obj = None; obj_epoch = 0 }
+
+let durable_of t pid =
   let f = get_file t (Page_id.file pid) in
   let index = Page_id.index pid in
-  if index < 0 || index >= f.n_pages then invalid_arg "Disk.page: no such page";
+  if index < 0 || index >= f.n_pages then
+    invalid_arg "Disk: no such page";
   f.pages.(index)
 
 let append_page t ~file =
   let f = get_file t file in
   if f.n_pages = Array.length f.pages then begin
     let cap = max 8 (2 * Array.length f.pages) in
-    let fresh = Array.make cap (Page_layout.create ~size:(page_size t)) in
+    let fresh = Array.make cap (fresh_durable t) in
     Array.blit f.pages 0 fresh 0 f.n_pages;
     f.pages <- fresh
   end;
-  f.pages.(f.n_pages) <- Page_layout.create ~size:(page_size t);
+  f.pages.(f.n_pages) <- fresh_durable t;
   f.n_pages <- f.n_pages + 1;
   f.n_pages - 1
 
+let load_page t pid =
+  let d = durable_of t pid in
+  match d.obj with
+  | Some page when d.obj_epoch = t.epoch -> page
+  | _ ->
+      let page = Page_layout.of_bytes ~lsn:d.lsn d.image in
+      d.obj <- Some page;
+      d.obj_epoch <- t.epoch;
+      page
+
+let persist t pid page =
+  let d = durable_of t pid in
+  Bytes.blit (Page_layout.buffer page) 0 d.image 0 (Bytes.length d.image);
+  d.lsn <- Page_layout.lsn page;
+  d.checksum <- checksum_of d.image;
+  d.obj <- Some page;
+  d.obj_epoch <- t.epoch
+
+(* After a crash the buffer pools evaporate with dirty working objects
+   still in them; nothing proves any memoized object matches its image any
+   more, so the whole memo generation is retired at once. *)
+let invalidate_cached t = t.epoch <- t.epoch + 1
+
+(* A torn write: the crash interrupted the transfer after the first
+   half-page (which, in a layout that kept the descriptor words in the page
+   header, is the half carrying the new checksum).  The image ends up half
+   new, half old, under the checksum of the complete new image — exactly the
+   state [verify] exists to flag. *)
+let persist_torn t pid page =
+  let d = durable_of t pid in
+  let half = Bytes.length d.image / 2 in
+  let full = Page_layout.buffer page in
+  let new_checksum = checksum_of full in
+  Bytes.blit full 0 d.image 0 half;
+  d.lsn <- Page_layout.lsn page;
+  d.obj <- None;
+  (* If the surviving old tail equals the new tail, the image IS the new
+     page and the checksum matches: the tear is harmless and invisible,
+     which is also what a real page checksum would conclude. *)
+  d.checksum <- new_checksum
+
+let restore_image t pid image ~lsn =
+  let d = durable_of t pid in
+  Bytes.blit image 0 d.image 0 (Bytes.length d.image);
+  d.lsn <- lsn;
+  d.checksum <- checksum_of d.image;
+  d.obj <- None
+
+let read_image t pid = Bytes.copy (durable_of t pid).image
+let page_lsn t pid = (durable_of t pid).lsn
+
+let verify t =
+  let torn = ref [] in
+  List.iteri
+    (fun file f ->
+      for index = f.n_pages - 1 downto 0 do
+        let d = f.pages.(index) in
+        if checksum_of d.image <> d.checksum then
+          torn := Page_id.make ~file ~index :: !torn
+      done)
+    t.files;
+  !torn
+
+let truncate_file t ~file ~pages =
+  let f = get_file t file in
+  if pages < 0 || pages > f.n_pages then invalid_arg "Disk.truncate_file";
+  f.n_pages <- pages
+
+let truncate_files t ~keep =
+  if keep < 0 || keep > t.n_files then invalid_arg "Disk.truncate_files";
+  t.files <- List.filteri (fun i _ -> i < keep) t.files;
+  t.n_files <- keep
+
+let page_counts t = Array.of_list (List.map (fun f -> f.n_pages) t.files)
+
 let total_pages t = List.fold_left (fun acc f -> acc + f.n_pages) 0 t.files
 let total_bytes t = total_pages t * page_size t
+
+(* Digest of the durable state: file names, page counts and image bytes.
+   LSNs and checksums are excluded — the LSN is advisory and the checksum a
+   function of the image — so two states are digest-equal iff a restart
+   would materialize identical pages. *)
+let durable_digest t =
+  let h = ref fnv_basis in
+  let mix_byte b = h := (!h lxor b) * 0x100000001b3 in
+  let mix_int n =
+    for shift = 0 to 7 do
+      mix_byte ((n lsr (8 * shift)) land 0xff)
+    done
+  in
+  let mix_bytes s =
+    for i = 0 to Bytes.length s - 1 do
+      mix_byte (Char.code (Bytes.unsafe_get s i))
+    done
+  in
+  mix_int t.n_files;
+  List.iter
+    (fun f ->
+      String.iter (fun ch -> mix_byte (Char.code ch)) f.name;
+      mix_int f.n_pages;
+      for index = 0 to f.n_pages - 1 do
+        mix_bytes f.pages.(index).image
+      done)
+    t.files;
+  Printf.sprintf "%016x" (!h land max_int)

@@ -1,10 +1,17 @@
-(** The simulated disk: a set of files, each an extendable array of slotted
-    pages.
+(** The simulated disk: a set of files, each an extendable array of durable
+    page images.
 
-    The disk is the authoritative store.  It charges nothing by itself —
-    I/O costs are charged by the buffer layer ({!Cache_stack}) when pages
-    actually cross the disk/server-cache boundary, mirroring how the paper
-    counts [D2SCreadpages]. *)
+    The disk is the authoritative store.  Each page carries, out of band, the
+    LSN of the write that produced it and a checksum of the image as written
+    (a real layout would carve the two words from the page_fill slack; we
+    keep them outside the page bytes so record capacities — and with them
+    every golden-gated simulated count — are unchanged).  Working
+    {!Page_layout.t} objects live only in the buffer pools: {!load_page}
+    materializes a fresh copy, {!persist} writes one back.
+
+    The disk charges nothing by itself — I/O costs are charged by the buffer
+    layer ({!Cache_stack}) when pages actually cross the disk/server-cache
+    boundary, mirroring how the paper counts [D2SCreadpages]. *)
 
 type t
 
@@ -25,16 +32,70 @@ val find_file : t -> name:string -> int option
 (** Number of pages currently allocated to a file. *)
 val page_count : t -> int -> int
 
-(** [page t id] is the in-memory image of that page. Raises
-    [Invalid_argument] if the page does not exist. *)
-val page : t -> Page_id.t -> Page_layout.t
-
-(** [append_page t ~file] allocates a fresh page at the end of [file] and
-    returns its index. *)
+(** [append_page t ~file] allocates a fresh (empty, checksummed) page at the
+    end of [file] and returns its index.  File allocation metadata is
+    durable immediately, like a file system with synchronous metadata;
+    recovery reclaims a loser's allocations by truncating back to the
+    checkpointed counts. *)
 val append_page : t -> file:int -> int
+
+(** [load_page t pid] is a working copy of the durable image.  Raises
+    [Invalid_argument] if the page does not exist.  As a host-level
+    optimisation the disk memoizes the last working object per page and
+    hands it back while its bytes are provably identical to the image
+    (set by {!persist} and [load_page] itself, voided by
+    {!invalidate_cached}, {!restore_image} and {!persist_torn}), so
+    decode caches keyed on the object's version survive a clean
+    restart. *)
+val load_page : t -> Page_id.t -> Page_layout.t
+
+(** Retire every memoized working object at once — called when the buffer
+    pools are dropped without a flush (crash, abort), after which dirty
+    objects no longer match their images. *)
+val invalidate_cached : t -> unit
+
+(** [persist t pid page] makes the working bytes durable and refreshes the
+    page's LSN and checksum. *)
+val persist : t -> Page_id.t -> Page_layout.t -> unit
+
+(** [persist_torn t pid page] models a write interrupted by a crash: only
+    the first half-page (the half that would carry the checksum word)
+    reaches the medium, leaving an image whose checksum does not match —
+    unless the tear happened to change nothing. *)
+val persist_torn : t -> Page_id.t -> Page_layout.t -> unit
+
+(** [restore_image t pid image ~lsn] overwrites the durable image from a
+    log image (recovery's redo/undo primitive). *)
+val restore_image : t -> Page_id.t -> Bytes.t -> lsn:int -> unit
+
+(** A copy of the durable image (recovery and tests). *)
+val read_image : t -> Page_id.t -> Bytes.t
+
+(** LSN of the last persist of that page. *)
+val page_lsn : t -> Page_id.t -> int
+
+(** [verify t] recomputes every page checksum and returns the mismatching
+    (torn) pages. *)
+val verify : t -> Page_id.t list
+
+(** [truncate_file t ~file ~pages] drops pages beyond [pages] (recovery of a
+    loser's appends). *)
+val truncate_file : t -> file:int -> pages:int -> unit
+
+(** [truncate_files t ~keep] drops files with id >= [keep] (recovery of a
+    loser's file creations; ids are allocation-ordered). *)
+val truncate_files : t -> keep:int -> unit
+
+(** Per-file page counts, indexed by file id (checkpoint capture). *)
+val page_counts : t -> int array
 
 (** Total pages across all files (the "buy big!" arithmetic of §3.1). *)
 val total_pages : t -> int
 
 (** Total bytes of allocated pages. *)
 val total_bytes : t -> int
+
+(** Hex digest of the durable state (file names, page counts, image bytes;
+    LSNs and checksums excluded).  Equal digests mean a restart would
+    materialize identical databases — the recovery oracle. *)
+val durable_digest : t -> string

@@ -1,0 +1,65 @@
+exception Crash
+
+type write_outcome = Ok | Crash_lost | Crash_torn
+
+type t = {
+  rng : Tb_sim.Rng.t;
+  mutable writes_until_crash : int; (* < 0: disarmed *)
+  mutable torn : bool;
+  mutable read_fail_permille : int;
+  mutable max_read_retries : int;
+  mutable writes_seen : int;
+  mutable reads_seen : int;
+  mutable crashed : bool;
+}
+
+let create ~seed =
+  {
+    rng = Tb_sim.Rng.create seed;
+    writes_until_crash = -1;
+    torn = false;
+    read_fail_permille = 0;
+    max_read_retries = 0;
+    writes_seen = 0;
+    reads_seen = 0;
+    crashed = false;
+  }
+
+let schedule_crash t ~at_write ~torn =
+  if at_write <= 0 then invalid_arg "Fault.schedule_crash: at_write";
+  t.writes_until_crash <- at_write;
+  t.torn <- torn;
+  t.crashed <- false
+
+let set_read_faults t ~permille ~max_retries =
+  if permille < 0 || permille > 1000 then
+    invalid_arg "Fault.set_read_faults: permille";
+  if max_retries < 0 then invalid_arg "Fault.set_read_faults: max_retries";
+  t.read_fail_permille <- permille;
+  t.max_read_retries <- max_retries
+
+(* Every write that would reach the durable medium — data-page persists and
+   WAL log-page writes alike — ticks the same countdown, so a crash point is
+   one global write ordinal, reproducible across runs. *)
+let on_write t =
+  t.writes_seen <- t.writes_seen + 1;
+  if t.writes_until_crash < 0 then Ok
+  else begin
+    t.writes_until_crash <- t.writes_until_crash - 1;
+    if t.writes_until_crash > 0 then Ok
+    else begin
+      t.writes_until_crash <- -1;
+      t.crashed <- true;
+      if t.torn then Crash_torn else Crash_lost
+    end
+  end
+
+let read_fails t =
+  t.reads_seen <- t.reads_seen + 1;
+  t.read_fail_permille > 0
+  && Tb_sim.Rng.int t.rng 1000 < t.read_fail_permille
+
+let max_read_retries t = t.max_read_retries
+let writes_seen t = t.writes_seen
+let reads_seen t = t.reads_seen
+let crashed t = t.crashed

@@ -1,0 +1,62 @@
+(** Deterministic disk-fault injection.
+
+    A [Fault.t] sits under the cache stack and the WAL and decides, for each
+    write that would reach the durable medium, whether the machine survives
+    it.  Everything is driven by its own {!Tb_sim.Rng} and explicit
+    schedules, so a failing run replays exactly from its seed — the point of
+    the exercise is a crash sweep the test suite can enumerate.
+
+    Three fault classes:
+    - {e scheduled crashes}: the [N]th write from now kills the machine.
+      The write itself is lost ([Crash_lost]) or half-applied
+      ([Crash_torn]: the first half of the page, including the checksum
+      word, reaches the platter; the tail does not — the classic torn
+      write a page checksum exists to catch);
+    - {e torn writes} only arise from a scheduled crash: a lone torn write
+      without a crash would be caught by the drive's own write-back;
+    - {e transient read errors}: each physical page read fails with a fixed
+      probability and is retried after a backoff charged to the simulated
+      clock ({!Tb_sim.Sim.charge_read_retry}), up to [max_retries] times
+      before the read succeeds (the fault is transient by definition). *)
+
+exception Crash
+(** Raised by the storage layer at the scheduled crash point, after the
+    fault's write outcome has been applied to the durable state. *)
+
+type write_outcome =
+  | Ok          (** the write completes *)
+  | Crash_lost  (** machine dies; the write never reached the medium *)
+  | Crash_torn  (** machine dies; only the first half-page reached it *)
+
+type t
+
+(** [create ~seed] is a quiescent fault layer (no crash scheduled, no read
+    errors) with its own deterministic PRNG. *)
+val create : seed:int -> t
+
+(** [schedule_crash t ~at_write ~torn] arms the countdown: the [at_write]th
+    subsequent durable write (1-based) crashes the machine, torn or clean.
+    Re-arming replaces any previous schedule. *)
+val schedule_crash : t -> at_write:int -> torn:bool -> unit
+
+(** [set_read_faults t ~permille ~max_retries] makes each physical read fail
+    with probability [permille]/1000, retried at most [max_retries] times
+    before succeeding regardless. *)
+val set_read_faults : t -> permille:int -> max_retries:int -> unit
+
+(** Tick the write countdown.  The caller applies the outcome (persist,
+    half-persist, or nothing) and raises {!Crash} on either crash result. *)
+val on_write : t -> write_outcome
+
+(** One PRNG draw against the read-error probability. *)
+val read_fails : t -> bool
+
+val max_read_retries : t -> int
+
+(** Writes / reads that have passed through this layer (diagnostics). *)
+val writes_seen : t -> int
+
+val reads_seen : t -> int
+
+(** Whether the scheduled crash has fired. *)
+val crashed : t -> bool

@@ -27,6 +27,11 @@ let of_file stack ~file =
 let file_id t = t.file
 let page_count t = Disk.page_count (Cache_stack.disk t.stack) t.file
 let cache t = t.stack
+let tail t = t.tail
+
+let set_tail t tail =
+  if tail < -1 then invalid_arg "Heap_file.set_tail";
+  t.tail <- tail
 
 let fill_limit t =
   let cost = (Cache_stack.sim t.stack).Tb_sim.Sim.cost in

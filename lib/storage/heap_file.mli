@@ -48,3 +48,12 @@ val scan : t -> (Rid.t -> bytes -> unit) -> unit
 val iter_page_records : t -> page:int -> (Rid.t -> bytes -> unit) -> unit
 
 val cache : t -> Cache_stack.t
+
+(** {2 Checkpoint support}
+
+    The tail (the page index currently receiving inserts; [-1] when empty)
+    is the only volatile state a heap file carries; recovery snapshots and
+    restores it alongside the catalog. *)
+
+val tail : t -> int
+val set_tail : t -> int -> unit

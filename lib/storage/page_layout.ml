@@ -7,7 +7,23 @@
    Directory entry for slot i, at [size - 4*(i+1)]: offset u16, length u16.
    offset = 0 marks a dead slot (live offsets are always >= header_size). *)
 
-type t = { buf : Bytes.t; size : int; mutable dirty : bool; mutable version : int }
+type t = {
+  buf : Bytes.t;
+  size : int;
+  mutable dirty : bool;
+  mutable version : int;
+  mutable lsn : int;
+}
+
+(* Versions are drawn from one monotonic counter shared by every page
+   object, so a version can never repeat across objects: a working copy
+   materialized from a durable image after a crash or cold restart can never
+   alias a stale decoded view of the object it replaced. *)
+let version_counter = ref 0
+
+let next_version () =
+  incr version_counter;
+  !version_counter
 
 let header_size = 4
 let dir_entry = 4
@@ -16,12 +32,30 @@ let create ~size =
   if size < 64 || size > 65528 then invalid_arg "Page_layout.create: size";
   let buf = Bytes.make size '\000' in
   Bytes.set_uint16_le buf 2 header_size;
-  { buf; size; dirty = false; version = 0 }
+  { buf; size; dirty = false; version = next_version (); lsn = 0 }
+
+(* A working copy of a durable page image.  The LSN and checksum live in the
+   disk's per-page descriptor, not in the page bytes: growing the header
+   would change every capacity-derived simulated count, and the page_fill
+   slack already reserves more space than the two words need. *)
+let of_bytes ?(lsn = 0) image =
+  {
+    buf = Bytes.copy image;
+    size = Bytes.length image;
+    dirty = false;
+    version = next_version ();
+    lsn;
+  }
+
+(* Full-page physical image, the WAL's before/after unit. *)
+let snapshot t = Bytes.copy t.buf
 
 let size t = t.size
 let dirty t = t.dirty
 let set_dirty t d = t.dirty <- d
 let version t = t.version
+let lsn t = t.lsn
+let set_lsn t l = t.lsn <- l
 let slot_count t = Bytes.get_uint16_le t.buf 0
 let free_off t = Bytes.get_uint16_le t.buf 2
 let set_slot_count t n = Bytes.set_uint16_le t.buf 0 n
@@ -93,7 +127,7 @@ let compact t =
     by_offset;
   set_free_off t !cursor;
   t.dirty <- true;
-  t.version <- t.version + 1
+  t.version <- next_version ()
 
 let contiguous_free t = dir_start t - free_off t
 
@@ -116,7 +150,7 @@ let insert t body =
     set_slot t slot ~off ~len;
     set_free_off t (off + len);
     t.dirty <- true;
-    t.version <- t.version + 1;
+    t.version <- next_version ();
     Some slot
   end
 
@@ -143,14 +177,14 @@ let record_span t slot =
 
 let record_modified t =
   t.dirty <- true;
-  t.version <- t.version + 1
+  t.version <- next_version ()
 
 let delete t slot =
   check_slot t slot;
   if slot_offset t slot <> 0 then begin
     set_slot t slot ~off:0 ~len:0;
     t.dirty <- true;
-    t.version <- t.version + 1
+    t.version <- next_version ()
   end
 
 let update t slot body =
@@ -165,7 +199,7 @@ let update t slot body =
     Bytes.blit body 0 t.buf off len;
     set_slot t slot ~off ~len;
     t.dirty <- true;
-    t.version <- t.version + 1;
+    t.version <- next_version ();
     true
   end
   else if free_bytes t + old_len >= len then begin
@@ -177,7 +211,7 @@ let update t slot body =
     set_slot t slot ~off ~len;
     set_free_off t (off + len);
     t.dirty <- true;
-    t.version <- t.version + 1;
+    t.version <- next_version ();
     true
   end
   else false

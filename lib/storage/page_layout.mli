@@ -17,6 +17,14 @@ type t
     64 and at most 65528 (offsets are 16-bit). *)
 val create : size:int -> t
 
+(** [of_bytes image] is a clean working copy of a durable page image (the
+    disk hands these out; see {!Disk.load_page}).  [lsn] seeds the advisory
+    log sequence number. *)
+val of_bytes : ?lsn:int -> Bytes.t -> t
+
+(** A copy of the full page bytes — the WAL's before/after-image unit. *)
+val snapshot : t -> Bytes.t
+
 val size : t -> int
 val dirty : t -> bool
 val set_dirty : t -> bool -> unit
@@ -25,8 +33,17 @@ val set_dirty : t -> bool -> unit
     ([insert], [update], [delete], internal compaction, and
     [record_modified]).  Decoded views of a page (the B+-tree's node cache)
     key their validity on [(page, version)]: equal version means the bytes
-    have not changed since the view was built. *)
+    have not changed since the view was built.  Versions are globally unique
+    across page objects (one shared monotonic counter), so a page
+    re-materialized from disk never revalidates a stale view. *)
 val version : t -> int
+
+(** Advisory log sequence number of the last WAL record covering this page.
+    Recovery does not trust it (the B+-tree bulk path patches bytes without
+    bumping it); redo/undo compare images instead.  See DESIGN.md §5. *)
+val lsn : t -> int
+
+val set_lsn : t -> int -> unit
 
 (** Number of slot-directory entries (live or dead). *)
 val slot_count : t -> int

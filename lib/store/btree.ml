@@ -683,7 +683,6 @@ let bulk_add t run =
     Array.iter (fun (key, rid) -> insert t ~key ~rid) run
   else begin
     let sim_ = sim t in
-    let disk_ = Tb_storage.Cache_stack.disk t.stack in
     let tbl = Lazy.force bound_above_tbl in
     (* Hand-inlined [Sim.charge_client_hit] / [Sim.charge_compare]: the
        same counter bumps and the same float additions in the same order,
@@ -746,21 +745,20 @@ let bulk_add t run =
       live := true;
       let rec go index acc =
         let pid = Tb_storage.Page_id.make ~file:t.file ~index in
-        if not (Tb_storage.Cache_stack.resident t.stack pid) then live := false
-        else begin
-          let page = Tb_storage.Disk.page disk_ pid in
-          let c = cached_for t index page in
-          match c.node with
-          | Internal ino -> go ino.children.(ino.nk) (tbl.(ino.nk) :: acc)
-          | Leaf lf ->
-              spine := Array.of_list (List.rev acc);
-              bleaf := lf;
-              bpage := page;
-              boff := fst (Page_layout.record_span page 0);
-              bcache := c;
-              synced := lf.n;
-              bdirty := Page_layout.dirty page
-        end
+        match Tb_storage.Cache_stack.peek t.stack pid with
+        | None -> live := false
+        | Some page -> (
+            let c = cached_for t index page in
+            match c.node with
+            | Internal ino -> go ino.children.(ino.nk) (tbl.(ino.nk) :: acc)
+            | Leaf lf ->
+                spine := Array.of_list (List.rev acc);
+                bleaf := lf;
+                bpage := page;
+                boff := fst (Page_layout.record_span page 0);
+                bcache := c;
+                synced := lf.n;
+                bdirty := Page_layout.dirty page)
       in
       go t.root []
     in
@@ -887,3 +885,19 @@ let check_invariants t =
   let n = ref 0 in
   iter t (fun _ _ -> incr n);
   if !n <> t.entries then failwith "btree: entry count mismatch"
+
+(* Checkpoint support: the tree's volatile state is the root index and the
+   entry count; everything else lives on pages (recovered by the log) or in
+   the decoded-node cache (rebuilt on demand, and cleared on restore because
+   restored page bytes must not be shadowed by stale decodes). *)
+
+type state = { st_root : int; st_entries : int }
+
+let checkpoint t = { st_root = t.root; st_entries = t.entries }
+
+let restore t s =
+  t.root <- s.st_root;
+  t.entries <- s.st_entries;
+  Hashtbl.reset t.cache
+
+let drop_cache t = Hashtbl.reset t.cache

@@ -70,3 +70,20 @@ val key_bounds : t -> (int * int) option
     consistency, half-full occupancy of every non-root node, reachability of
     every entry via the leaf chain.  Raises [Failure] on violation. *)
 val check_invariants : t -> unit
+
+(** {2 Checkpoint support} *)
+
+(** The tree's volatile state: root page index and entry count.  Everything
+    else is page bytes (the log's problem) or the decoded-node cache
+    (rebuilt on demand). *)
+type state
+
+val checkpoint : t -> state
+
+(** [restore t s] reinstates a checkpointed state and clears the decoded-node
+    cache, so restored page bytes are never shadowed by stale decodes. *)
+val restore : t -> state -> unit
+
+(** Clear the decoded-node cache only (crash recovery of a winner: the
+    structure is current but durable bytes were rewritten). *)
+val drop_cache : t -> unit

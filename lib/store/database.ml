@@ -1,6 +1,21 @@
 module Rid = Tb_storage.Rid
 module Heap_file = Tb_storage.Heap_file
 
+(* A catalog checkpoint: the volatile state that pages alone cannot
+   recover.  Captured after every commit (and, for a commit in flight, at
+   commit-record force time), reinstated by rollback and crash recovery.
+   Heap files, trees and index definitions are shared mutable objects;
+   the checkpoint records the scalars needed to rewind them. *)
+type ckpt = {
+  ck_class_files : (string * Heap_file.t) list;
+  ck_index_list : Index_def.t list;
+  ck_next_index_id : int;
+  ck_cardinalities : (string * int) list;
+  ck_files : (int * Heap_file.t * int) list; (* id, heap, tail page *)
+  ck_btrees : (Btree.t * Btree.state) list;
+  ck_page_counts : int array; (* per disk file, in file-id order *)
+}
+
 type t = {
   sim : Tb_sim.Sim.t;
   stack : Tb_storage.Cache_stack.t;
@@ -13,11 +28,56 @@ type t = {
   mutable index_list : Index_def.t list;
   mutable next_index_id : int;
   cardinalities : (string, int ref) Hashtbl.t;
+  mutable commit_seq : int;
+  mutable checkpoint : ckpt;
+  mutable pending_ckpt : ckpt option;
+  mutable on_commit : (seq:int -> unit) option;
 }
 
 let register_file t heap =
   Hashtbl.replace t.files_by_id (Heap_file.file_id heap) heap;
   heap
+
+let take_ckpt t =
+  {
+    ck_class_files = t.class_files;
+    ck_index_list = t.index_list;
+    ck_next_index_id = t.next_index_id;
+    ck_cardinalities =
+      Hashtbl.fold (fun cls r acc -> (cls, !r) :: acc) t.cardinalities [];
+    ck_files =
+      Hashtbl.fold
+        (fun id hf acc -> (id, hf, Heap_file.tail hf) :: acc)
+        t.files_by_id [];
+    ck_btrees =
+      List.map
+        (fun ix -> (ix.Index_def.tree, Btree.checkpoint ix.Index_def.tree))
+        t.index_list;
+    ck_page_counts = Tb_storage.Disk.page_counts (Tb_storage.Cache_stack.disk t.stack);
+  }
+
+(* Reinstate a checkpoint: drop files and pages created past it, rewind
+   the catalog scalars, reset tree roots and decoded-node caches. *)
+let install_ckpt t c =
+  let disk = Tb_storage.Cache_stack.disk t.stack in
+  Tb_storage.Disk.truncate_files disk ~keep:(Array.length c.ck_page_counts);
+  Array.iteri
+    (fun file pages -> Tb_storage.Disk.truncate_file disk ~file ~pages)
+    c.ck_page_counts;
+  t.class_files <- c.ck_class_files;
+  t.index_list <- c.ck_index_list;
+  t.next_index_id <- c.ck_next_index_id;
+  Hashtbl.reset t.cardinalities;
+  List.iter
+    (fun (cls, n) -> Hashtbl.replace t.cardinalities cls (ref n))
+    c.ck_cardinalities;
+  Hashtbl.reset t.files_by_id;
+  List.iter
+    (fun (id, hf, tail) ->
+      Hashtbl.replace t.files_by_id id hf;
+      Heap_file.set_tail hf tail)
+    c.ck_files;
+  List.iter (fun (tree, st) -> Btree.restore tree st) c.ck_btrees
 
 let create sim ~schema ~server_pages ~client_pages
     ?(handle_kind = Tb_sim.Cost_model.Fat) ?(zombie_limit = 8192)
@@ -37,9 +97,30 @@ let create sim ~schema ~server_pages ~client_pages
       index_list = [];
       next_index_id = 0;
       cardinalities = Hashtbl.create 16;
+      commit_seq = 0;
+      checkpoint =
+        {
+          ck_class_files = [];
+          ck_index_list = [];
+          ck_next_index_id = 0;
+          ck_cardinalities = [];
+          ck_files = [];
+          ck_btrees = [];
+          ck_page_counts = [||];
+        };
+      pending_ckpt = None;
+      on_commit = None;
     }
   in
   ignore (register_file t t.collections);
+  (* The WAL observes every write fetch; transaction-off mode logs
+     nothing, exactly as O2's loading mode drops the log. *)
+  Tb_storage.Cache_stack.set_write_observer stack
+    (Some
+       (fun pid page ->
+         if Transaction.mode t.txn = Transaction.Standard then
+           Wal.note_touch (Transaction.wal t.txn) pid page));
+  t.checkpoint <- take_ckpt t;
   t
 
 let sim t = t.sim
@@ -291,6 +372,25 @@ let cardinality t ~cls =
 
 let extent_pages t ~cls = Heap_file.page_count (class_file t ~cls)
 
+(* Commit: force the commit record (standard mode), capture the catalog
+   image the commit leads to, flush dirty pages, truncate the log, and
+   publish the new checkpoint.  The capture happens between force and
+   flush so a crash during the flush — a winner, its commit record already
+   durable — can recover the catalog that matches the replayed pages. *)
+let commit t =
+  let wal = Transaction.wal t.txn in
+  (match Transaction.mode t.txn with
+  | Transaction.Standard -> Wal.force wal
+  | Transaction.Load_off -> Wal.discard wal);
+  t.pending_ckpt <- Some (take_ckpt t);
+  Tb_storage.Cache_stack.flush t.stack;
+  Transaction.reset t.txn;
+  Wal.checkpoint wal;
+  (match t.pending_ckpt with Some c -> t.checkpoint <- c | None -> ());
+  t.pending_ckpt <- None;
+  t.commit_seq <- t.commit_seq + 1;
+  match t.on_commit with None -> () | Some f -> f ~seq:t.commit_seq
+
 let create_index t ~name ~cls ~attr =
   (match Schema.attr_type t.schema ~cls ~attr with
   | Schema.TInt -> ()
@@ -323,7 +423,7 @@ let create_index t ~name ~cls ~attr =
       incr since_commit;
       if Transaction.mode t.txn = Transaction.Standard && !since_commit >= 10_000
       then begin
-        Transaction.commit t.txn t.stack;
+        commit t;
         since_commit := 0
       end);
   (* Pass 2: build the tree.  The emergent tree shape (and with it every
@@ -359,7 +459,114 @@ let indexes t = t.index_list
 let analyze ?(buckets = 64) t =
   List.iter (fun ix -> Index_def.build_histogram ix ~buckets) t.index_list
 
-let commit t = Transaction.commit t.txn t.stack
+(* Rollback: restore durable before-images from the log, drop the volatile
+   working pages and client handles, rewind the catalog to the last
+   checkpoint.  Transaction-off mode keeps no log, so there is nothing to
+   roll back to — stolen pages may already be on disk (the price the paper's
+   loading mode pays for its speed). *)
+let rollback t =
+  (match Transaction.mode t.txn with
+  | Transaction.Load_off ->
+      invalid_arg "Database.rollback: transaction-off mode keeps no log"
+  | Transaction.Standard -> ());
+  let undone = Transaction.abort t.txn t.stack in
+  Handle_table.discard t.handles;
+  install_ckpt t t.checkpoint;
+  t.pending_ckpt <- None;
+  undone
+
+(* {2 Transaction handles} *)
+
+type txn_handle = { h_db : t; mutable resolved : bool }
+
+let begin_txn t = { h_db = t; resolved = false }
+
+let commit_txn h =
+  if h.resolved then invalid_arg "Database.commit_txn: already resolved";
+  h.resolved <- true;
+  commit h.h_db
+
+let abort_txn h =
+  if h.resolved then invalid_arg "Database.abort_txn: already resolved";
+  h.resolved <- true;
+  ignore (rollback h.h_db : int)
+
+let with_txn t f =
+  let h = begin_txn t in
+  match f t with
+  | v ->
+      commit_txn h;
+      v
+  | exception Tb_storage.Fault.Crash ->
+      (* A crash is not an application error: nothing volatile survives to
+         abort with.  Leave recovery to [crash_and_recover]. *)
+      h.resolved <- true;
+      raise Tb_storage.Fault.Crash
+  | exception e ->
+      if not h.resolved then abort_txn h;
+      raise e
+
+(* {2 Faults and crash recovery} *)
+
+let set_fault t f =
+  Tb_storage.Cache_stack.set_fault t.stack f;
+  Wal.set_fault (Transaction.wal t.txn) f
+
+let commit_seq t = t.commit_seq
+let set_commit_hook t hook = t.on_commit <- hook
+
+let durable_fingerprint t =
+  Tb_storage.Disk.durable_digest (Tb_storage.Cache_stack.disk t.stack)
+
+type recovery = {
+  outcome : [ `Winner | `Loser ];
+  torn_pages : int;
+  redone : int;
+  undone : int;
+}
+
+(* Restart after a crash.  Volatile state (both cache tiers, client
+   handles, decoded nodes) is gone by definition; the durable images plus
+   the log are the whole truth.  The log holds at most one transaction
+   (commits checkpoint it), so recovery is a single decision: if the
+   commit record became durable, replay the after-images and install the
+   catalog captured at force time; otherwise restore the before-images,
+   truncate pages and files the loser created, and rewind the catalog.
+   Checksum verification brackets the pass: torn pages found before must
+   be healed, and none may survive. *)
+let crash_and_recover t =
+  let disk = Tb_storage.Cache_stack.disk t.stack in
+  let wal = Transaction.wal t.txn in
+  Tb_storage.Cache_stack.set_fault t.stack None;
+  Wal.set_fault wal None;
+  Tb_storage.Cache_stack.drop t.stack;
+  Handle_table.discard t.handles;
+  let torn = Tb_storage.Disk.verify disk in
+  let outcome, redone, undone =
+    if Wal.commit_durable wal then begin
+      let redone = Wal.redo wal disk in
+      (match t.pending_ckpt with
+      | Some c -> t.checkpoint <- c
+      | None ->
+          failwith "Database.crash_and_recover: winner without a checkpoint");
+      install_ckpt t t.checkpoint;
+      t.commit_seq <- t.commit_seq + 1;
+      (`Winner, redone, 0)
+    end
+    else begin
+      let undone = Wal.undo wal disk in
+      install_ckpt t t.checkpoint;
+      (`Loser, 0, undone)
+    end
+  in
+  Wal.discard wal;
+  Transaction.reset t.txn;
+  t.pending_ckpt <- None;
+  (match Tb_storage.Disk.verify disk with
+  | [] -> ()
+  | _ :: _ ->
+      failwith "Database.crash_and_recover: torn page survived recovery");
+  { outcome; torn_pages = List.length torn; redone; undone }
 
 let cold_restart t =
   Handle_table.discard t.handles;

@@ -126,8 +126,69 @@ val extent_pages : t -> cls:string -> int
 
 (** {2 Lifecycle} *)
 
+(** Commit the running transaction: force the log's commit record
+    (standard mode; transaction-off drops the log), flush dirty pages,
+    truncate the log, advance {!commit_seq} and fire the commit hook.
+    Repeat-callable — the loaders commit every few thousand objects. *)
 val commit : t -> unit
+
+(** Roll the running transaction back: restore durable before-images from
+    the log, drop volatile pages and handles, rewind the catalog (files,
+    indexes, cardinalities, tree roots) to the last commit.  Returns the
+    number of pages restored.  Raises [Invalid_argument] in transaction-off
+    mode, which keeps no log to roll back from. *)
+val rollback : t -> int
+
+(** One-shot transaction handles over {!commit}/{!rollback}: resolving a
+    handle twice (commit after commit, abort after abort, or any mix)
+    raises [Invalid_argument]. *)
+type txn_handle
+
+val begin_txn : t -> txn_handle
+val commit_txn : txn_handle -> unit
+val abort_txn : txn_handle -> unit
+
+(** [with_txn t f] runs [f t] and commits, or rolls back if [f] raises
+    (including {!Transaction.Out_of_memory}) and re-raises.  A
+    {!Tb_storage.Fault.Crash} is re-raised {e without} rolling back: a
+    crashed machine has nothing volatile left to abort with — recover with
+    {!crash_and_recover}. *)
+val with_txn : t -> (t -> 'a) -> 'a
 
 (** Shut the server down and drop the client's handles: the cold state in
     which every measured query starts. *)
 val cold_restart : t -> unit
+
+(** {2 Faults and crash recovery} *)
+
+(** Arm ([Some]) or disarm ([None]) deterministic fault injection on both
+    the page store and the log. *)
+val set_fault : t -> Tb_storage.Fault.t option -> unit
+
+(** Completed commits since creation (crash recovery of a winner counts
+    its in-flight commit). *)
+val commit_seq : t -> int
+
+(** [set_commit_hook t (Some f)] runs [f ~seq] after every completed
+    commit — the recovery oracle records durable fingerprints here. *)
+val set_commit_hook : t -> (seq:int -> unit) option -> unit
+
+(** Digest of the durable state only: file names and page images, no
+    volatile state, no LSNs.  Two databases with equal fingerprints hold
+    identical committed data. *)
+val durable_fingerprint : t -> string
+
+type recovery = {
+  outcome : [ `Winner | `Loser ];
+  torn_pages : int;  (** pages whose checksum exposed a torn write *)
+  redone : int;  (** pages replayed from after-images *)
+  undone : int;  (** pages restored from before-images *)
+}
+
+(** Restart after a {!Tb_storage.Fault.Crash}: drop all volatile state,
+    verify checksums, then — commit record durable — replay the winner's
+    after-images and install its catalog, or — not durable — restore the
+    loser's before-images, truncate its page and file allocations, and
+    rewind the catalog to the last commit.  Disarms fault injection.
+    Raises [Failure] if a torn page survives recovery. *)
+val crash_and_recover : t -> recovery

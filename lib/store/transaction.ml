@@ -4,19 +4,21 @@ exception Out_of_memory
 
 type t = {
   sim : Tb_sim.Sim.t;
+  wal : Wal.t;
   mutable mode : mode;
   mutable uncommitted : int;
-  mutable log_bytes_pending : int;
   uncommitted_limit : int;
 }
 
 let create sim mode ~uncommitted_limit =
   if uncommitted_limit <= 0 then invalid_arg "Transaction.create: limit";
-  { sim; mode; uncommitted = 0; log_bytes_pending = 0; uncommitted_limit }
+  { sim; wal = Wal.create sim; mode; uncommitted = 0; uncommitted_limit }
 
 let mode t = t.mode
 let set_mode t m = t.mode <- m
 let uncommitted t = t.uncommitted
+let wal t = t.wal
+let pending_log_bytes t = Wal.pending_bytes t.wal
 
 let on_write t ~bytes =
   match t.mode with
@@ -24,22 +26,25 @@ let on_write t ~bytes =
   | Standard ->
       t.uncommitted <- t.uncommitted + 1;
       if t.uncommitted > t.uncommitted_limit then raise Out_of_memory;
-      (* Before/after images go to the log; charge a write per filled log
-         page. *)
-      t.log_bytes_pending <- t.log_bytes_pending + (2 * bytes);
-      let page = t.sim.Tb_sim.Sim.cost.Tb_sim.Cost_model.page_size in
-      while t.log_bytes_pending >= page do
-        Tb_sim.Sim.charge_disk_write t.sim;
-        t.log_bytes_pending <- t.log_bytes_pending - page
-      done
+      Wal.logical_write t.wal ~bytes
+
+let reset t = t.uncommitted <- 0
 
 let commit t stack =
   (match t.mode with
-  | Standard ->
-      if t.log_bytes_pending > 0 then begin
-        Tb_sim.Sim.charge_disk_write t.sim;
-        t.log_bytes_pending <- 0
-      end
-  | Load_off -> ());
+  | Standard -> Wal.force t.wal
+  | Load_off ->
+      (* A mode switch mid-transaction used to leave the standard-mode log
+         tail pending across the commit, to be charged to the next
+         transaction; transaction-off commits now drop it. *)
+      Wal.discard t.wal);
   Tb_storage.Cache_stack.flush stack;
-  t.uncommitted <- 0
+  t.uncommitted <- 0;
+  Wal.checkpoint t.wal
+
+let abort t stack =
+  let undone = Wal.undo t.wal (Tb_storage.Cache_stack.disk stack) in
+  Tb_storage.Cache_stack.drop stack;
+  Wal.discard t.wal;
+  t.uncommitted <- 0;
+  undone

@@ -1,0 +1,165 @@
+module Page_id = Tb_storage.Page_id
+module Page_layout = Tb_storage.Page_layout
+module Disk = Tb_storage.Disk
+module Fault = Tb_storage.Fault
+
+(* One consolidated physical record per (transaction, page): the before-image
+   captured at the first write fetch after the last checkpoint, the
+   after-image captured when the commit record is forced.  [page] is
+   refreshed on every write fetch so the after-image is always read from the
+   live working object, never from a copy that eviction already replaced. *)
+type touch = {
+  pid : Page_id.t;
+  mutable page : Page_layout.t;
+  before : Bytes.t;
+  before_lsn : int;
+  lsn : int;
+  mutable after : Bytes.t option;
+}
+
+type t = {
+  sim : Tb_sim.Sim.t;
+  touched : (Page_id.t, touch) Hashtbl.t;
+  mutable order : touch list; (* reverse first-touch order = undo order *)
+  mutable pending : int; (* log bytes not yet filling a whole page *)
+  mutable next_lsn : int;
+  mutable commit_durable : bool;
+  mutable fault : Fault.t option;
+}
+
+let create sim =
+  {
+    sim;
+    touched = Hashtbl.create 64;
+    order = [];
+    pending = 0;
+    next_lsn = 1;
+    commit_durable = false;
+    fault = None;
+  }
+
+let set_fault t f = t.fault <- f
+let pending_bytes t = t.pending
+let commit_durable t = t.commit_durable
+let covers t pid = Hashtbl.mem t.touched pid
+let touched_pages t = Hashtbl.length t.touched
+
+let tick_write t =
+  match t.fault with
+  | None -> ()
+  | Some f -> (
+      match Fault.on_write f with
+      | Fault.Ok -> ()
+      | Fault.Crash_lost | Fault.Crash_torn ->
+          (* A torn log-page write loses its tail records just the same:
+             either way this write — and everything it would have made
+             durable — never happened. *)
+          raise Fault.Crash)
+
+(* The write observer: runs on every [Cache_stack.fetch_for_write].  A first
+   touch appends the physical before-image record; repeat touches only
+   re-point [page] at the current working object.  Charge-free: the paper's
+   "before/after images go to the log" I/O is already priced by
+   [logical_write]'s byte accounting, and a per-page physical record is a
+   consolidation of those same bytes, not new ones. *)
+let note_touch t pid page =
+  match Hashtbl.find_opt t.touched pid with
+  | Some tch -> tch.page <- page
+  | None ->
+      Tb_sim.Sim.charge_wal_append t.sim;
+      let lsn = t.next_lsn in
+      t.next_lsn <- lsn + 1;
+      let tch =
+        {
+          pid;
+          page;
+          before = Page_layout.snapshot page;
+          before_lsn = Page_layout.lsn page;
+          lsn;
+          after = None;
+        }
+      in
+      Page_layout.set_lsn page lsn;
+      Hashtbl.replace t.touched pid tch;
+      t.order <- tch :: t.order
+
+(* One logical write record: [bytes] of before-image plus [bytes] of
+   after-image join the log, and every filled log page costs one disk
+   write.  This is, to the byte, the `log_bytes_pending` arithmetic the
+   pre-WAL [Transaction.on_write] charged — the cost accounting is now
+   derived from the records instead of asserted. *)
+let logical_write t ~bytes =
+  Tb_sim.Sim.charge_wal_append t.sim;
+  t.pending <- t.pending + (2 * bytes);
+  let page = t.sim.Tb_sim.Sim.cost.Tb_sim.Cost_model.page_size in
+  while t.pending >= page do
+    tick_write t;
+    Tb_sim.Sim.charge_disk_write t.sim;
+    t.pending <- t.pending - page
+  done
+
+(* Force the commit record: flush the partial log tail (one write, exactly
+   the old commit-time charge), then capture after-images.  When the tail is
+   empty the commit record piggybacks on the last full log page at no extra
+   charge.  [commit_durable] flips only once the tail write survives — a
+   crash during the force leaves a loser.  After-images are captured only
+   under an armed fault layer: without one no crash can interrupt the
+   upcoming page flush, so the copies would be pure host cost. *)
+let force t =
+  Tb_sim.Sim.charge_wal_append t.sim;
+  if t.pending > 0 then begin
+    tick_write t;
+    Tb_sim.Sim.charge_disk_write t.sim;
+    t.pending <- 0
+  end;
+  if t.fault <> None then
+    List.iter
+      (fun tch -> tch.after <- Some (Page_layout.snapshot tch.page))
+      t.order;
+  t.commit_durable <- true
+
+(* Truncate the log after a completed commit: serial transactions need no
+   history past the last checkpoint. *)
+let checkpoint t =
+  Hashtbl.reset t.touched;
+  t.order <- [];
+  t.commit_durable <- false
+
+(* Drop everything including the unflushed tail: transaction-off commits
+   (which never logged their writes' images to begin with) and abort. *)
+let discard t =
+  checkpoint t;
+  t.pending <- 0
+
+(* Roll back: restore every touched page's durable image to its
+   before-image, newest touch first.  Restores only pages whose image
+   actually diverged (an untouched-on-disk page costs nothing), charging one
+   undo write each. *)
+let undo t disk =
+  let restored = ref 0 in
+  List.iter
+    (fun tch ->
+      if not (Bytes.equal (Disk.read_image disk tch.pid) tch.before) then begin
+        Tb_sim.Sim.charge_undo_page t.sim;
+        Disk.restore_image disk tch.pid tch.before ~lsn:tch.before_lsn;
+        incr restored
+      end)
+    t.order;
+  !restored
+
+(* Replay a winner: restore every touched page's durable image to its
+   after-image, oldest touch first. *)
+let redo t disk =
+  let restored = ref 0 in
+  List.iter
+    (fun tch ->
+      match tch.after with
+      | None -> failwith "Wal.redo: commit record without after-images"
+      | Some after ->
+          if not (Bytes.equal (Disk.read_image disk tch.pid) after) then begin
+            Tb_sim.Sim.charge_redo_page t.sim;
+            Disk.restore_image disk tch.pid after ~lsn:tch.lsn;
+            incr restored
+          end)
+    (List.rev t.order);
+  !restored

@@ -1,0 +1,344 @@
+(* Tests for the recovery subsystem: the WAL, abort/rollback, deterministic
+   fault injection, torn-write detection, and the seeded crash-point sweep
+   that proves every crash recovers to the last committed state.
+
+   The sweep strides through the crash points at tier-1 scale; set
+   TREEBENCH_RECOVERY_FULL=1 to crash at every single durable write. *)
+
+open Tb_store
+module Fault = Tb_storage.Fault
+module Counters = Tb_sim.Counters
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let fresh_sim () = Tb_sim.Sim.create (Tb_sim.Cost_model.scaled 100)
+
+let schema () =
+  Schema.make
+    ~classes:
+      [
+        {
+          Schema.cls_name = "Patient";
+          attrs =
+            [
+              ("name", Schema.TString);
+              ("mrn", Schema.TInt);
+              ("age", Schema.TInt);
+            ];
+        };
+      ]
+    ~roots:[ ("Patients", Schema.TSet (Schema.TRef "Patient")) ]
+
+let patient i =
+  Value.Tuple
+    [
+      ("name", Value.String (Printf.sprintf "p%04d" i));
+      ("mrn", Value.Int i);
+      ("age", Value.Int (20 + (i mod 60)));
+    ]
+
+(* Small pools on purpose: mid-transaction evictions steal uncommitted dirty
+   pages to disk, so abort and crash recovery have real damage to undo. *)
+let mk_db ?(uncommitted_limit = 50_000) () =
+  let sim = fresh_sim () in
+  Database.create sim ~schema:(schema ()) ~server_pages:16 ~client_pages:32
+    ~txn_mode:Transaction.Standard ~uncommitted_limit ()
+
+let bind_patients db =
+  let f = Database.new_file db ~name:"patients" in
+  Database.bind_class db ~cls:"Patient" f
+
+let insert_patient db i =
+  Database.insert_object db ~cls:"Patient" ~indexed:true (patient i)
+
+(* --- the Load_off log-tail leak (regression) --- *)
+
+let test_load_off_commit_drops_log_tail () =
+  let sim = fresh_sim () in
+  let disk = Tb_storage.Disk.create sim in
+  let stack =
+    Tb_storage.Cache_stack.create sim disk ~server_pages:8 ~client_pages:8
+  in
+  let txn = Transaction.create sim Transaction.Standard ~uncommitted_limit:1000 in
+  Transaction.on_write txn ~bytes:100;
+  check_bool "log tail pending" true (Transaction.pending_log_bytes txn > 0);
+  (* The bug: switching to transaction-off mid-transaction and committing
+     used to carry the standard-mode log tail into the next transaction,
+     which then paid a disk write for bytes that were never logged. *)
+  Transaction.set_mode txn Transaction.Load_off;
+  Transaction.commit txn stack;
+  check_int "tail dropped at transaction-off commit" 0
+    (Transaction.pending_log_bytes txn);
+  Transaction.set_mode txn Transaction.Standard;
+  let dw = sim.Tb_sim.Sim.counters.Counters.disk_writes in
+  Transaction.commit txn stack;
+  check_int "no leaked log charge on the next commit" dw
+    sim.Tb_sim.Sim.counters.Counters.disk_writes
+
+(* --- abort edges --- *)
+
+let test_abort_zero_writes () =
+  let db = mk_db () in
+  bind_patients db;
+  Database.commit db;
+  let fp = Database.durable_fingerprint db in
+  let seq = Database.commit_seq db in
+  check_int "empty rollback restores nothing" 0 (Database.rollback db);
+  check_string "fingerprint unchanged" fp (Database.durable_fingerprint db);
+  check_int "commit_seq unchanged" seq (Database.commit_seq db)
+
+let test_abort_restores_state () =
+  let db = mk_db () in
+  bind_patients db;
+  for i = 0 to 199 do
+    ignore (insert_patient db i)
+  done;
+  Database.commit db;
+  let fp = Database.durable_fingerprint db in
+  let card = Database.cardinality db ~cls:"Patient" in
+  (* Enough inserts to overflow both cache tiers: uncommitted pages reach
+     the disk mid-transaction and must be rolled back from before-images. *)
+  check_bool "aborted" true
+    (match
+       Database.with_txn db (fun db ->
+           for i = 1_000 to 3_999 do
+             ignore (insert_patient db i)
+           done;
+           raise Exit)
+     with
+    | exception Exit -> true
+    | _ -> false);
+  check_string "durable state restored" fp (Database.durable_fingerprint db);
+  check_int "cardinality rewound" card (Database.cardinality db ~cls:"Patient");
+  check_bool "stolen pages were undone" true
+    ((Database.sim db).Tb_sim.Sim.counters.Counters.undo_pages > 0);
+  (* The store stays usable after rollback. *)
+  Database.with_txn db (fun db -> ignore (insert_patient db 5_000));
+  check_int "post-rollback insert lands" (card + 1)
+    (Database.cardinality db ~cls:"Patient")
+
+let test_abort_after_out_of_memory () =
+  let db = mk_db ~uncommitted_limit:500 () in
+  bind_patients db;
+  for i = 0 to 99 do
+    ignore (insert_patient db i)
+  done;
+  Database.commit db;
+  let fp = Database.durable_fingerprint db in
+  check_bool "out of memory propagates" true
+    (match
+       Database.with_txn db (fun db ->
+           for i = 1_000 to 2_999 do
+             ignore (insert_patient db i)
+           done)
+     with
+    | exception Transaction.Out_of_memory -> true
+    | _ -> false);
+  check_string "rolled back to last commit" fp (Database.durable_fingerprint db)
+
+let test_double_resolve_raises () =
+  let db = mk_db () in
+  bind_patients db;
+  Database.commit db;
+  let invalid f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  let h = Database.begin_txn db in
+  Database.commit_txn h;
+  check_bool "commit after commit raises" true (invalid (fun () ->
+      Database.commit_txn h));
+  check_bool "abort after commit raises" true (invalid (fun () ->
+      Database.abort_txn h));
+  let h2 = Database.begin_txn db in
+  Database.abort_txn h2;
+  check_bool "abort after abort raises" true (invalid (fun () ->
+      Database.abort_txn h2));
+  check_bool "commit after abort raises" true (invalid (fun () ->
+      Database.commit_txn h2))
+
+(* --- the crash workload and its oracle --- *)
+
+(* A miniature Derby life cycle in four transactions: bulk creation, a
+   post-load index build (the Section 3.2 header-rewrite catastrophe),
+   index-maintaining updates with forced relocations, then deletes mixed
+   with fresh inserts. *)
+let workload db =
+  Database.with_txn db (fun db ->
+      for i = 0 to 599 do
+        ignore (insert_patient db i)
+      done);
+  Database.with_txn db (fun db ->
+      ignore (Database.create_index db ~name:"mrn" ~cls:"Patient" ~attr:"mrn"));
+  Database.with_txn db (fun db ->
+      let rids = ref [] in
+      Database.scan_extent db ~cls:"Patient" (fun rid -> rids := rid :: !rids);
+      List.iteri
+        (fun i rid ->
+          if i mod 7 = 0 then begin
+            let _, v = Database.read_object db rid in
+            let v = Value.set_field v "mrn" (Value.Int (100_000 + i)) in
+            let v = Value.set_field v "name" (Value.String (String.make 40 'x')) in
+            Database.update_object db rid v
+          end)
+        (List.rev !rids));
+  Database.with_txn db (fun db ->
+      let rids = ref [] in
+      Database.scan_extent db ~cls:"Patient" (fun rid -> rids := rid :: !rids);
+      List.iteri
+        (fun i rid -> if i mod 11 = 0 then Database.delete_object db rid)
+        (List.rev !rids);
+      for i = 600 to 649 do
+        ignore (insert_patient db i)
+      done)
+
+(* Run the workload under an armed fault layer, recording the durable
+   fingerprint after every commit: F[seq] is the oracle a run crashed after
+   [seq] commits must recover to.  [crash_at = 0] never crashes (the
+   reference run — its fault layer still counts the durable writes, which
+   is how the sweep learns its crash points). *)
+let run ?(crash_at = 0) ~torn () =
+  let db = mk_db () in
+  let digests = Hashtbl.create 16 in
+  Database.set_commit_hook db
+    (Some (fun ~seq -> Hashtbl.replace digests seq (Database.durable_fingerprint db)));
+  let f = Fault.create ~seed:7 in
+  Database.set_fault db (Some f);
+  if crash_at > 0 then Fault.schedule_crash f ~at_write:crash_at ~torn;
+  (* F[0]: the creation-time checkpoint a crash before the first commit
+     recovers to. *)
+  Hashtbl.replace digests 0 (Database.durable_fingerprint db);
+  match
+    bind_patients db;
+    Database.commit db;
+    workload db
+  with
+  | () -> `Completed (db, digests, Fault.writes_seen f)
+  | exception Fault.Crash -> `Crashed (db, digests)
+
+let recover_and_check ~point db ref_digests =
+  let r = Database.crash_and_recover db in
+  let seq = Database.commit_seq db in
+  let expect =
+    match Hashtbl.find_opt ref_digests seq with
+    | Some fp -> fp
+    | None ->
+        Alcotest.failf "crash point %d: no reference digest for seq %d" point
+          seq
+  in
+  check_string
+    (Printf.sprintf "crash point %d recovers to commit %d" point seq)
+    expect
+    (Database.durable_fingerprint db);
+  r
+
+(* --- torn-write detection --- *)
+
+let test_torn_write_detected () =
+  (* The last durable write of the run happens during the final commit's
+     page flush: tearing it leaves a half-written data page under the full
+     image's checksum, a durable commit record, and a winner to replay. *)
+  let ref_digests, total =
+    match run ~torn:false () with
+    | `Completed (_, d, w) -> (d, w)
+    | `Crashed _ -> Alcotest.fail "reference run crashed"
+  in
+  match run ~crash_at:total ~torn:true () with
+  | `Completed _ -> Alcotest.fail "scheduled crash did not fire"
+  | `Crashed (db, _) ->
+      let r = recover_and_check ~point:total db ref_digests in
+      check_bool "checksum caught the torn page" true (r.Database.torn_pages > 0);
+      check_bool "winner replayed" true (r.Database.outcome = `Winner);
+      check_int "redo counter matches" r.Database.redone
+        (Database.sim db).Tb_sim.Sim.counters.Counters.redo_pages
+
+(* --- transient read faults --- *)
+
+let test_read_retries_charged () =
+  let scan_with fault =
+    let db = mk_db () in
+    bind_patients db;
+    for i = 0 to 499 do
+      ignore (insert_patient db i)
+    done;
+    Database.commit db;
+    (match fault with
+    | None -> ()
+    | Some permille ->
+        let f = Fault.create ~seed:11 in
+        Fault.set_read_faults f ~permille ~max_retries:3;
+        Database.set_fault db (Some f));
+    Database.cold_restart db;
+    Tb_sim.Sim.reset (Database.sim db);
+    let n = ref 0 in
+    Database.scan_extent db ~cls:"Patient" (fun _ -> incr n);
+    let sim = Database.sim db in
+    (!n, sim.Tb_sim.Sim.counters.Counters.read_retries, Tb_sim.Sim.elapsed_s sim)
+  in
+  let rows, retries, elapsed = scan_with (Some 300) in
+  let rows0, retries0, elapsed0 = scan_with None in
+  check_int "same result with and without faults" rows0 rows;
+  check_int "no retries without faults" 0 retries0;
+  check_bool "retries happened" true (retries > 0);
+  check_bool "backoff charged to the clock" true (elapsed > elapsed0)
+
+(* --- the seeded crash-point sweep --- *)
+
+let test_crash_sweep () =
+  let ref_digests, total =
+    match run ~torn:false () with
+    | `Completed (_, d, w) -> (d, w)
+    | `Crashed _ -> Alcotest.fail "reference run crashed"
+  in
+  check_bool
+    (Printf.sprintf "workload yields >= 50 crash points (got %d)" total)
+    true (total >= 50);
+  let full = Sys.getenv_opt "TREEBENCH_RECOVERY_FULL" <> None in
+  let stride = if full then 1 else max 1 (total / 60) in
+  let points = ref 0 in
+  let winners = ref 0 and losers = ref 0 and torn_seen = ref 0 in
+  let k = ref 1 in
+  while !k <= total do
+    (* Alternate clean and torn crashes across the sweep. *)
+    let torn = !k mod 2 = 1 in
+    (match run ~crash_at:!k ~torn () with
+    | `Completed _ -> Alcotest.failf "crash point %d did not fire" !k
+    | `Crashed (db, _) ->
+        incr points;
+        let r = recover_and_check ~point:!k db ref_digests in
+        (match r.Database.outcome with
+        | `Winner -> incr winners
+        | `Loser -> incr losers);
+        torn_seen := !torn_seen + r.Database.torn_pages;
+        (* Every few points: the recovered store accepts new transactions. *)
+        if !k mod (7 * stride) = 1 then
+          Database.with_txn db (fun db -> ignore (insert_patient db 9_000)));
+    k := !k + stride
+  done;
+  check_bool
+    (Printf.sprintf "swept >= 50 crash points (got %d)" !points)
+    true (!points >= 50);
+  check_bool "both winners and losers recovered" true
+    (!winners > 0 && !losers > 0);
+  check_bool "torn writes exercised in the sweep" true (!torn_seen > 0)
+
+let suite =
+  [
+    Alcotest.test_case "txn: transaction-off commit drops the log tail" `Quick
+      test_load_off_commit_drops_log_tail;
+    Alcotest.test_case "abort: zero writes is a no-op" `Quick
+      test_abort_zero_writes;
+    Alcotest.test_case "abort: restores the last committed state" `Quick
+      test_abort_restores_state;
+    Alcotest.test_case "abort: recovers from out of memory" `Quick
+      test_abort_after_out_of_memory;
+    Alcotest.test_case "txn handles: double resolve raises" `Quick
+      test_double_resolve_raises;
+    Alcotest.test_case "crash: torn write detected and replayed" `Quick
+      test_torn_write_detected;
+    Alcotest.test_case "faults: read retries charged to the clock" `Quick
+      test_read_retries_charged;
+    Alcotest.test_case "crash: seeded sweep recovers every point" `Slow
+      test_crash_sweep;
+  ]
