@@ -8,6 +8,10 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 dune build @all
+# Static discipline gate: charge accounting, layer DAG, determinism,
+# mutable-state registry and unsafe-op containment over the typed ASTs.
+# Prints `treelint: N rules, M files, 0 violations` on success.
+dune build @lint
 dune runtest
 # Exhaustive crash-recovery fuzz: crash at every durable write of the
 # fixed-seed workload (the default runtest pass strides the same sweep).

@@ -100,7 +100,7 @@ let access_preds = function
    needs not read patients when returning objects). *)
 let needs_handle ~residual ~needed =
   let attrs, _ = needed in
-  residual <> [] || attrs <> []
+  match (residual, attrs) with [], [] -> false | _ -> true
 
 (* --- Selection (Figure 8) --- *)
 
@@ -306,13 +306,7 @@ let unspill_record body =
       (key, { self; attrs })
   | _ -> invalid_arg "Exec: corrupt spill record"
 
-let spill_counter = ref 0
-
-let new_spill_file db =
-  incr spill_counter;
-  Tb_storage.Heap_file.create
-    (Database.stack db)
-    ~name:(Printf.sprintf "__spill_%d" !spill_counter)
+let new_spill_file db = Tb_storage.Heap_file.create_temp (Database.stack db)
 
 (* Hybrid hash join.  The build side is split into [partitions] buckets by
    key hash: bucket 0 is joined in memory on the fly, the others are

@@ -3,9 +3,11 @@
    every CHJ inner loop — is reversed once, not once per probe. *)
 type 'a group = { mutable rev : 'a list; mutable fwd : 'a list option }
 
+module H = Hashtbl.Make (Tb_storage.Rid)
+
 type 'a t = {
   sim : Tb_sim.Sim.t;
-  table : (Tb_storage.Rid.t, 'a group) Hashtbl.t;
+  table : 'a group H.t;
   mutable elements : int;
   mutable bytes : int;
   mutable disposed : bool;
@@ -15,18 +17,18 @@ let entry_overhead = 16
 let group_overhead = 40
 
 let create sim =
-  { sim; table = Hashtbl.create 1024; elements = 0; bytes = 0; disposed = false }
+  { sim; table = H.create 1024; elements = 0; bytes = 0; disposed = false }
 
 let add t ~key ~payload_bytes v =
   if t.disposed then invalid_arg "Mem_hash.add: disposed";
   let cost =
-    match Hashtbl.find_opt t.table key with
+    match H.find_opt t.table key with
     | Some group ->
         group.rev <- v :: group.rev;
         group.fwd <- None;
         entry_overhead + payload_bytes
     | None ->
-        Hashtbl.replace t.table key { rev = [ v ]; fwd = None };
+        H.replace t.table key { rev = [ v ]; fwd = None };
         group_overhead + entry_overhead + payload_bytes
   in
   t.elements <- t.elements + 1;
@@ -37,7 +39,7 @@ let add t ~key ~payload_bytes v =
 let find t ~key =
   if t.disposed then invalid_arg "Mem_hash.find: disposed";
   Tb_sim.Sim.charge_hash_probe t.sim;
-  match Hashtbl.find_opt t.table key with
+  match H.find_opt t.table key with
   | Some group -> (
       match group.fwd with
       | Some l -> l
@@ -47,7 +49,7 @@ let find t ~key =
           l)
   | None -> []
 
-let group_count t = Hashtbl.length t.table
+let group_count t = H.length t.table
 let element_count t = t.elements
 let size_bytes t = t.bytes
 
@@ -55,5 +57,5 @@ let dispose t =
   if not t.disposed then begin
     Tb_sim.Sim.release_bytes t.sim t.bytes;
     t.disposed <- true;
-    Hashtbl.reset t.table
+    H.reset t.table
   end

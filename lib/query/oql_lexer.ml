@@ -106,6 +106,16 @@ let tokenize s =
   in
   go 0 []
 
+let equal a b =
+  match (a, b) with
+  | IDENT x, IDENT y | STRING x, STRING y -> String.equal x y
+  | INT x, INT y -> Int.equal x y
+  | CHAR x, CHAR y -> Char.equal x y
+  | _ ->
+      (* constant constructors are immediates, so physical equality is tag
+         equality; mixed payload constructors fall through to [false] *)
+      a == b
+
 let pp_token ppf tok =
   Format.pp_print_string ppf
     (match tok with

@@ -33,4 +33,7 @@ exception Lex_error of string
 (** [tokenize s] — raises {!Lex_error} on malformed input. *)
 val tokenize : string -> token list
 
+(** Structural token equality without polymorphic compare. *)
+val equal : token -> token -> bool
+
 val pp_token : Format.formatter -> token -> unit

@@ -18,7 +18,7 @@ let fail_at st msg =
        (Format.asprintf "%s (at %a)" msg Oql_lexer.pp_token (peek st)))
 
 let expect st tok msg =
-  if peek st = tok then advance st else fail_at st msg
+  if Oql_lexer.equal (peek st) tok then advance st else fail_at st msg
 
 let ident st =
   match peek st with
@@ -137,7 +137,7 @@ let agg_of_name name =
 
 let parse_projection st =
   match peek st with
-  | Oql_lexer.IDENT name when peek2 st = Oql_lexer.LPAREN -> (
+  | Oql_lexer.IDENT name when Oql_lexer.equal (peek2 st) Oql_lexer.LPAREN -> (
       match agg_of_name name with
       | Some agg ->
           advance st;

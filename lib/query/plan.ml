@@ -241,7 +241,9 @@ let pp_access ppf = function
         (if sorted then ", sorted" else "")
         (match lo with Some k -> string_of_int k | None -> "-inf")
         (match hi with Some k -> string_of_int k | None -> "+inf")
-        (if residual = [] then "" else Printf.sprintf " +%d residual" (List.length residual))
+        (match residual with
+        | [] -> ""
+        | _ -> Printf.sprintf " +%d residual" (List.length residual))
 
 let pp ppf = function
   | Selection { var; cls; access; _ } ->

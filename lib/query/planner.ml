@@ -86,7 +86,7 @@ let make_side db ~cls ~preds ~payload =
     Estimate.card;
     pages;
     sel = side_selectivity db ~cls preds;
-    has_index = indexable <> [];
+    has_index = (match indexable with [] -> false | _ -> true);
     index_clustered =
       (match indexable with ix :: _ -> Index_def.is_clustered ix | [] -> false);
     payload_bytes = payload;
@@ -186,7 +186,7 @@ let selection_plan db ~mode ~force_sorted ~force_seq ~var ~cls ~preds ~select
         if
           Estimate.selection_seq_ms env
           < Estimate.selection_index_ms env ~sorted
-          && not (force_seq || force_sorted <> None)
+          && not (force_seq || Option.is_some force_sorted)
         then Plan.Seq_scan { cls; preds }
         else access
     | _ -> access
@@ -227,7 +227,7 @@ let join_plan db ~mode ~organization ~force_algo ~force_sorted ~force_seq bound 
                   | Plan.NL -> true
                   | Plan.NOJOIN | Plan.PHJ | Plan.CHJ | Plan.PHHJ | Plan.CHHJ
                   | Plan.SMJ ->
-                      inv_attr <> None
+                      Option.is_some inv_attr
                 in
                 (match List.filter viable (Estimate.rank_joins env) with
                 | (a, _) :: _ -> a

@@ -21,6 +21,12 @@ let create stack ~name =
   let file = Disk.new_file (Cache_stack.disk stack) ~name in
   { stack; file; tail = -1 }
 
+let create_temp stack =
+  let name =
+    Printf.sprintf "__temp_%d" (Disk.file_count (Cache_stack.disk stack))
+  in
+  create stack ~name
+
 let of_file stack ~file =
   { stack; file; tail = Disk.page_count (Cache_stack.disk stack) file - 1 }
 

@@ -17,6 +17,11 @@ type t
 (** [create stack ~name] allocates a fresh file on [stack]'s disk. *)
 val create : Cache_stack.t -> name:string -> t
 
+(** [create_temp stack] allocates a scratch file (spill partitions and the
+    like) whose name derives from the disk's current file count, so no
+    caller-side counter — and no process-global state — is needed. *)
+val create_temp : Cache_stack.t -> t
+
 (** [of_file stack ~file] wraps an existing disk file id. *)
 val of_file : Cache_stack.t -> file:int -> t
 

@@ -237,8 +237,13 @@ let check_invariants t =
       spans := (off, off + len) :: !spans
     end
   done;
-  let sorted = List.sort compare !spans in
-  let rec overlap = function
+  let sorted =
+    List.sort
+      (fun ((s1, e1) : int * int) (s2, e2) ->
+        match Int.compare s1 s2 with 0 -> Int.compare e1 e2 | c -> c)
+      !spans
+  in
+  let rec overlap : (int * int) list -> unit = function
     | (_, e1) :: ((s2, _) :: _ as rest) ->
         if e1 > s2 then failwith "page: overlapping records";
         overlap rest

@@ -12,7 +12,13 @@ let compare a b =
     if c <> 0 then c else Int.compare a.slot b.slot
 
 let equal a b = compare a b = 0
-let hash t = Hashtbl.hash (t.file, t.page, t.slot)
+
+(* FNV-1a over the triple: deterministic across runs and OCaml versions
+   (Hashtbl.hash is specified only per-version), masked non-negative so
+   [hash t mod n] is a valid bucket index. *)
+let hash t =
+  let mix h x = (h lxor x) * 0x0100_0193 in
+  mix (mix (mix 0x811c_9dc5 t.file) t.page) t.slot land max_int
 
 (* 2 bytes of file id, 4 of page number, 2 of slot: 8 bytes, as in the
    paper's size accounting. Nil encodes as all-ones. *)

@@ -37,11 +37,14 @@ let decode_chunk b =
 let chunks_of elems =
   let rec go current current_bytes acc = function
     | [] ->
-        let acc = if current = [] then acc else List.rev current :: acc in
+        let acc =
+          match current with [] -> acc | _ -> List.rev current :: acc
+        in
         List.rev acc
     | v :: rest ->
         let sz = Codec.encoded_size v in
-        if current <> [] && current_bytes + sz > chunk_budget then
+        let non_empty = match current with [] -> false | _ -> true in
+        if non_empty && current_bytes + sz > chunk_budget then
           go [ v ] sz (List.rev current :: acc) rest
         else go (v :: current) (current_bytes + sz) acc rest
   in

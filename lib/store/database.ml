@@ -212,7 +212,7 @@ let insert_object t ~cls ?(indexed = false) value =
     invalid_arg ("Database.insert_object: value does not conform to " ^ cls);
   let value = spill t value in
   let member_of = indexes_on t cls in
-  let slotted = indexed || member_of <> [] in
+  let slotted = indexed || (match member_of with [] -> false | _ -> true) in
   let header =
     List.fold_left
       (fun h ix -> Obj_header.add_index h ix.Index_def.id)

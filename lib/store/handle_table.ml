@@ -1,21 +1,23 @@
+module H = Hashtbl.Make (Tb_storage.Rid)
+
 type t = {
   sim : Tb_sim.Sim.t;
   kind : Tb_sim.Cost_model.handle_kind;
-  table : (Tb_storage.Rid.t, Handle.t) Hashtbl.t;
+  table : Handle.t H.t;
   zombies : Tb_storage.Rid.t Queue.t;
   zombie_limit : int;
 }
 
 let create sim ~kind ~zombie_limit =
   if zombie_limit < 0 then invalid_arg "Handle_table.create: zombie_limit";
-  { sim; kind; table = Hashtbl.create 4096; zombies = Queue.create (); zombie_limit }
+  { sim; kind; table = H.create 4096; zombies = Queue.create (); zombie_limit }
 
 let kind t = t.kind
 
 let destroy t h =
   Tb_sim.Sim.charge_handle_free t.sim t.kind;
   Tb_sim.Sim.release_bytes t.sim h.Handle.mem_bytes;
-  Hashtbl.remove t.table h.Handle.rid
+  H.remove t.table h.Handle.rid
 
 (* Pop zombies until the pool is back under its limit.  Queue entries can be
    stale (resurrected or re-queued rids); only genuinely unreferenced
@@ -23,13 +25,13 @@ let destroy t h =
 let trim t =
   while Queue.length t.zombies > t.zombie_limit do
     let rid = Queue.pop t.zombies in
-    match Hashtbl.find_opt t.table rid with
+    match H.find_opt t.table rid with
     | Some h when h.Handle.refcount = 0 -> destroy t h
     | Some _ | None -> ()
   done
 
 let acquire t rid ~load =
-  match Hashtbl.find_opt t.table rid with
+  match H.find_opt t.table rid with
   | Some h ->
       Tb_sim.Sim.charge_handle_hit t.sim;
       h.Handle.refcount <- h.Handle.refcount + 1;
@@ -40,7 +42,7 @@ let acquire t rid ~load =
       Tb_sim.Sim.claim_bytes t.sim mem_bytes;
       let class_id, repr = load () in
       let h = Handle.make ~rid ~class_id ~repr ~mem_bytes in
-      Hashtbl.replace t.table rid h;
+      H.replace t.table rid h;
       h
 
 let unreference t h =
@@ -52,19 +54,19 @@ let unreference t h =
     trim t
   end
 
-let find_resident t rid = Hashtbl.find_opt t.table rid
-let resident_count t = Hashtbl.length t.table
+let find_resident t rid = H.find_opt t.table rid
+let resident_count t = H.length t.table
 
 let flush t =
-  Hashtbl.iter (fun _ h ->
+  H.iter (fun _ h ->
       Tb_sim.Sim.charge_handle_free t.sim t.kind;
       Tb_sim.Sim.release_bytes t.sim h.Handle.mem_bytes) t.table;
-  Hashtbl.reset t.table;
+  H.reset t.table;
   Queue.clear t.zombies
 
 let discard t =
-  Hashtbl.iter
+  H.iter
     (fun _ h -> Tb_sim.Sim.release_bytes t.sim h.Handle.mem_bytes)
     t.table;
-  Hashtbl.reset t.table;
+  H.reset t.table;
   Queue.clear t.zombies

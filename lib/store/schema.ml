@@ -34,7 +34,7 @@ let make ~classes ~roots =
   let names = List.map (fun c -> c.cls_name) classes in
   let rec dup = function
     | [] -> None
-    | x :: rest -> if List.mem x rest then Some x else dup rest
+    | x :: rest -> if List.exists (String.equal x) rest then Some x else dup rest
   in
   (match dup names with
   | Some n -> invalid_arg ("Schema: duplicate class " ^ n)

@@ -112,7 +112,7 @@ let force t =
     Tb_sim.Sim.charge_disk_write t.sim;
     t.pending <- 0
   end;
-  if t.fault <> None then
+  if Option.is_some t.fault then
     List.iter
       (fun tch -> tch.after <- Some (Page_layout.snapshot tch.page))
       t.order;

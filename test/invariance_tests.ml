@@ -32,8 +32,23 @@ let test_counters_match_golden () =
     (fun want have -> Alcotest.(check string) "fingerprint line" want have)
     golden got
 
+(* Process-level state hygiene (treelint rule R4's dynamic counterpart):
+   running the whole workload twice in one process must give bit-identical
+   fingerprints.  Any toplevel ref/table that survives a run and leaks into
+   the next — a forgotten spill counter, a stale cache — shows up here. *)
+let test_back_to_back_runs_identical () =
+  let first = Tb_core.Fingerprint.collect ~scale:10 in
+  let second = Tb_core.Fingerprint.collect ~scale:10 in
+  Alcotest.(check int) "fingerprint line count" (List.length first)
+    (List.length second);
+  List.iter2
+    (fun want have -> Alcotest.(check string) "fingerprint line" want have)
+    first second
+
 let suite =
   [
     Alcotest.test_case "counters: golden fingerprint (scale 40)" `Slow
       test_counters_match_golden;
+    Alcotest.test_case "counters: back-to-back runs are identical" `Slow
+      test_back_to_back_runs_identical;
   ]

@@ -1,0 +1,134 @@
+(* treelint — static analysis over the .cmt typed ASTs dune emits.
+
+   Usage:
+     treelint --config treelint.toml [--baseline FILE] [--json FILE]
+              [--cmi FILE]... [--verbose] [--update-baseline] DIR...
+
+   Each DIR is searched recursively for .cmt files.  When a DIR holds no
+   cmts but _build/default/DIR does (the tool was launched from the source
+   root rather than from inside _build), the build copy is scanned instead,
+   so `dune exec tools/treelint/bin/treelint.exe -- ... lib` works as well
+   as the @lint rule. *)
+
+module Config = Treelint_config
+module Diag = Treelint_diag
+module Engine = Treelint_engine
+
+let read_baseline path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | l ->
+          let l = String.trim l in
+          go (if l = "" || l.[0] = '#' then acc else l :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let usage () =
+  prerr_endline
+    "usage: treelint --config FILE [--baseline FILE] [--json FILE] [--cmi \
+     FILE]... [--verbose] [--update-baseline] DIR...";
+  exit 2
+
+let () =
+  let config_path = ref "" in
+  let baseline_path = ref "" in
+  let json_path = ref "" in
+  let cmi_files = ref [] in
+  let dirs = ref [] in
+  let verbose = ref false in
+  let update_baseline = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--config" :: v :: rest ->
+        config_path := v;
+        parse rest
+    | "--baseline" :: v :: rest ->
+        baseline_path := v;
+        parse rest
+    | "--json" :: v :: rest ->
+        json_path := v;
+        parse rest
+    | "--cmi" :: v :: rest ->
+        cmi_files := v :: !cmi_files;
+        parse rest
+    | "--verbose" :: rest ->
+        verbose := true;
+        parse rest
+    | "--update-baseline" :: rest ->
+        update_baseline := true;
+        parse rest
+    | arg :: _ when String.length arg > 1 && arg.[0] = '-' ->
+        Printf.eprintf "treelint: unknown option %s\n" arg;
+        usage ()
+    | dir :: rest ->
+        dirs := dir :: !dirs;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !config_path = "" || !dirs = [] then usage ();
+  let config =
+    try Config.load !config_path
+    with Config.Parse_error msg ->
+      Printf.eprintf "treelint: %s: %s\n" !config_path msg;
+      exit 2
+  in
+  let baseline =
+    if !baseline_path = "" then [] else read_baseline !baseline_path
+  in
+  let resolve dir =
+    if Engine.find_cmts dir [] <> [] then dir
+    else
+      let built = Filename.concat (Filename.concat "_build" "default") dir in
+      if Sys.file_exists built then built else dir
+  in
+  let dirs = List.map resolve (List.rev !dirs) in
+  let extra_dirs = List.map Filename.dirname !cmi_files in
+  let result = Engine.run ~config ~baseline ~extra_dirs ~dirs () in
+  List.iter
+    (fun d ->
+      match d.Diag.status with
+      | Diag.Violation -> Format.printf "%a@." Diag.pp d
+      | Diag.Allowlisted reason ->
+          if !verbose then
+            Format.printf "%a (allowlisted: %s)@." Diag.pp d reason
+      | Diag.Baselined ->
+          if !verbose then Format.printf "%a (baselined)@." Diag.pp d)
+    result.diagnostics;
+  if !json_path <> "" then
+    write_file !json_path (Diag.report_to_json result.diagnostics);
+  if !update_baseline then begin
+    let lines =
+      List.filter_map
+        (fun d ->
+          match d.Diag.status with
+          | Diag.Violation | Diag.Baselined -> Some (Diag.fingerprint d)
+          | Diag.Allowlisted _ -> None)
+        result.diagnostics
+      |> List.sort_uniq String.compare
+    in
+    write_file !baseline_path
+      ("# treelint baseline: grandfathered diagnostics, one fingerprint per \
+        line.\n# Regenerate with --update-baseline; shrink it, never grow \
+        it.\n" ^ String.concat "\n" lines
+      ^ if lines = [] then "" else "\n");
+    Printf.printf "treelint: baseline rewritten with %d entries\n"
+      (List.length lines)
+  end;
+  Printf.printf
+    "treelint: %d rules, %d files, %d violations (%d allowlisted, %d \
+     baselined)\n"
+    Engine.rule_count result.files_scanned result.violations result.allowlisted
+    result.baselined;
+  if result.violations > 0 && not !update_baseline then exit 1

@@ -1,0 +1,283 @@
+(* Configuration for treelint: a small TOML subset plus the typed view the
+   rules consume.
+
+   The parser covers exactly what treelint.toml needs — [dotted.section]
+   headers, `key = value` entries with string / integer / boolean / string
+   list values, quoted keys, and # comments — so the tool carries no
+   third-party dependency.  Unknown sections and keys are preserved (and
+   ignored by the typed view), which lets the config file document itself
+   with future-rule stubs without breaking older binaries. *)
+
+type value =
+  | S of string
+  | I of int
+  | B of bool
+  | L of string list
+
+type entry = { section : string; key : string; value : value }
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- lexical helpers --- *)
+
+let is_space c = c = ' ' || c = '\t'
+
+let strip s =
+  let n = String.length s in
+  let i = ref 0 and j = ref (n - 1) in
+  while !i < n && is_space s.[!i] do incr i done;
+  while !j >= !i && is_space s.[!j] do decr j done;
+  String.sub s !i (!j - !i + 1)
+
+(* Drop a # comment, respecting double-quoted strings. *)
+let drop_comment line =
+  let buf = Buffer.create (String.length line) in
+  let in_str = ref false in
+  (try
+     String.iter
+       (fun c ->
+         if c = '"' then in_str := not !in_str
+         else if c = '#' && not !in_str then raise Exit;
+         Buffer.add_char buf c)
+       line
+   with Exit -> ());
+  Buffer.contents buf
+
+let parse_string ~lineno s =
+  let n = String.length s in
+  if n < 2 || s.[0] <> '"' || s.[n - 1] <> '"' then
+    fail "line %d: expected a double-quoted string, got %S" lineno s;
+  String.sub s 1 (n - 2)
+
+let parse_scalar ~lineno s =
+  let s = strip s in
+  if s = "" then fail "line %d: empty value" lineno
+  else if s.[0] = '"' then S (parse_string ~lineno s)
+  else if s = "true" then B true
+  else if s = "false" then B false
+  else
+    match int_of_string_opt s with
+    | Some i -> I i
+    | None -> fail "line %d: unrecognized value %S" lineno s
+
+(* Split a [ ... ] body on commas outside quotes. *)
+let parse_list ~lineno body =
+  let items = ref [] in
+  let buf = Buffer.create 16 in
+  let in_str = ref false in
+  let flush () =
+    let s = strip (Buffer.contents buf) in
+    Buffer.clear buf;
+    if s <> "" then items := parse_string ~lineno s :: !items
+  in
+  String.iter
+    (fun c ->
+      if c = '"' then begin
+        in_str := not !in_str;
+        Buffer.add_char buf c
+      end
+      else if c = ',' && not !in_str then flush ()
+      else Buffer.add_char buf c)
+    body;
+  flush ();
+  L (List.rev !items)
+
+let parse_value ~lineno s =
+  let s = strip s in
+  let n = String.length s in
+  if n >= 2 && s.[0] = '[' && s.[n - 1] = ']' then
+    parse_list ~lineno (String.sub s 1 (n - 2))
+  else parse_scalar ~lineno s
+
+let parse_key ~lineno s =
+  let s = strip s in
+  if s = "" then fail "line %d: empty key" lineno
+  else if s.[0] = '"' then parse_string ~lineno s
+  else s
+
+(* Find the [=] separating key from value, outside quotes. *)
+let split_eq ~lineno line =
+  let n = String.length line in
+  let in_str = ref false in
+  let pos = ref (-1) in
+  (try
+     for i = 0 to n - 1 do
+       if line.[i] = '"' then in_str := not !in_str
+       else if line.[i] = '=' && not !in_str then begin
+         pos := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !pos < 0 then fail "line %d: expected `key = value`, got %S" lineno line;
+  (String.sub line 0 !pos, String.sub line (!pos + 1) (n - !pos - 1))
+
+let parse_lines lines =
+  let lines = Array.of_list lines in
+  let n_lines = Array.length lines in
+  let section = ref "" in
+  let entries = ref [] in
+  let i = ref 0 in
+  while !i < n_lines do
+    let lineno = !i + 1 in
+    let line = strip (drop_comment lines.(!i)) in
+    incr i;
+    if line <> "" then
+      if line.[0] = '[' then begin
+        let n = String.length line in
+        if line.[n - 1] <> ']' then fail "line %d: unterminated section" lineno;
+        section := strip (String.sub line 1 (n - 2))
+      end
+      else begin
+        let k, v = split_eq ~lineno line in
+        (* A `[` that does not close on its own line opens a multi-line list:
+           keep absorbing lines until one ends with `]`. *)
+        let v = ref (strip v) in
+        if String.length !v > 0 && !v.[0] = '[' then
+          while
+            (let s = !v in
+             String.length s < 2 || s.[String.length s - 1] <> ']')
+            &&
+            if !i >= n_lines then fail "line %d: unterminated list" lineno
+            else true
+          do
+            v := strip (!v ^ " " ^ strip (drop_comment lines.(!i)));
+            incr i
+          done;
+        entries :=
+          {
+            section = !section;
+            key = parse_key ~lineno k;
+            value = parse_value ~lineno !v;
+          }
+          :: !entries
+      end
+  done;
+  List.rev !entries
+
+let parse_file path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | l -> go (l :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  parse_lines (go [])
+
+(* --- typed view --- *)
+
+type t = {
+  (* wrapper module name -> library key, e.g. "Tb_sim" -> "sim" *)
+  libraries : (string * string) list;
+  (* library key -> layer rank; references may only flow to strictly lower
+     ranks (or within the same library) *)
+  layers : (string * int) list;
+  (* R1: members whose use is restricted (exact, or "Module." prefix) *)
+  r1_page_members : string list;
+  r1_page_allowed : string list;
+  (* R1: charge/counter mutation discipline *)
+  r1_charge_prefixes : string list;
+  r1_charge_allowed : string list;
+  (* R2: module -> allowed referrer tokens (library keys in lowercase,
+     module names capitalized) *)
+  r2_internal : (string * string list) list;
+  (* R3 applies to these library keys (the engine under the fingerprint) *)
+  r3_layers : string list;
+  r3_banned : string list;
+  r3_poly : string list;
+  r3_mem_family : string list;
+  r3_hashtbl_ops : string list;
+  r4_roots : string list;
+  r4_creators : string list;
+  r5_banned : string list;
+  r5_allowed : string list;
+  (* "RULE Module [offender]" -> reason (must be non-empty) *)
+  allow : (string * string) list;
+}
+
+let strings = function
+  | L l -> l
+  | S s -> [ s ]
+  | _ -> fail "expected a string list"
+
+let section_assoc entries name =
+  List.filter_map
+    (fun e -> if String.equal e.section name then Some (e.key, e.value) else None)
+    entries
+
+let string_list entries section key default =
+  match List.assoc_opt key (section_assoc entries section) with
+  | Some v -> strings v
+  | None -> default
+
+let of_entries entries =
+  let libraries =
+    List.map
+      (fun (k, v) ->
+        match v with
+        | S s -> (k, s)
+        | _ -> fail "[libraries] values must be strings")
+      (section_assoc entries "libraries")
+  in
+  let layers =
+    List.map
+      (fun (k, v) ->
+        match v with
+        | I i -> (k, i)
+        | _ -> fail "[layers] values must be integers")
+      (section_assoc entries "layers")
+  in
+  let r2_internal =
+    List.map
+      (fun (k, v) -> (k, strings v))
+      (section_assoc entries "rules.r2.internal")
+  in
+  let allow =
+    List.map
+      (fun (k, v) ->
+        match v with
+        | S reason ->
+            if String.equal (strip reason) "" then
+              fail "[allow] entry %S has an empty reason — every exception \
+                    must say why it is intentional" k
+            else (k, reason)
+        | _ -> fail "[allow] values must be reason strings")
+      (section_assoc entries "allow")
+  in
+  {
+    libraries;
+    layers;
+    r1_page_members = string_list entries "rules.r1" "page_access_members" [];
+    r1_page_allowed = string_list entries "rules.r1" "page_access_allowed" [];
+    r1_charge_prefixes = string_list entries "rules.r1" "charge_prefixes" [];
+    r1_charge_allowed = string_list entries "rules.r1" "charge_allowed" [];
+    r2_internal;
+    r3_layers = string_list entries "rules.r3" "layers" [];
+    r3_banned = string_list entries "rules.r3" "banned" [];
+    r3_poly = string_list entries "rules.r3" "poly_compare" [];
+    r3_mem_family = string_list entries "rules.r3" "mem_family" [];
+    r3_hashtbl_ops = string_list entries "rules.r3" "hashtbl_ops" [];
+    r4_roots = string_list entries "rules.r4" "roots" [];
+    r4_creators = string_list entries "rules.r4" "creators" [];
+    r5_banned = string_list entries "rules.r5" "banned" [];
+    r5_allowed = string_list entries "rules.r5" "allowed" [];
+    allow;
+  }
+
+let load path = of_entries (parse_file path)
+
+(* [matches_member pats name]: a pattern ending in [._] is a prefix, anything
+   else must match exactly — "Disk.load_page" is one member, "Buffer_pool."
+   is the whole module, "Sim.charge_" is a function family. *)
+let matches_member patterns name =
+  List.exists
+    (fun p ->
+      let n = String.length p in
+      if n > 0 && (p.[n - 1] = '.' || p.[n - 1] = '_') then
+        String.length name >= n && String.equal (String.sub name 0 n) p
+      else String.equal p name)
+    patterns

@@ -1,0 +1,92 @@
+(* Diagnostics: what a rule found, where, and what became of it.
+
+   A diagnostic's fingerprint — "RULE Module offender" — deliberately
+   excludes source locations so that allowlist and baseline entries survive
+   unrelated edits to the flagged file. *)
+
+type status =
+  | Violation
+  | Allowlisted of string  (* the configured reason *)
+  | Baselined
+
+type t = {
+  rule : string;     (* "R1" .. "R5" *)
+  file : string;     (* workspace-relative source path *)
+  line : int;
+  col : int;
+  modname : string;  (* unprefixed module name, e.g. "Exec" *)
+  offender : string; (* normalized reference, e.g. "Disk.load_page" or "=@list" *)
+  message : string;
+  mutable status : status;
+}
+
+let make ~rule ~loc ~modname ~offender ~message =
+  let pos = loc.Location.loc_start in
+  {
+    rule;
+    file = pos.Lexing.pos_fname;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    modname;
+    offender;
+    message;
+    status = Violation;
+  }
+
+let fingerprint d = Printf.sprintf "%s %s %s" d.rule d.modname d.offender
+
+(* Allowlist keys may be module-wide ("R5 Btree") or member-exact
+   ("R5 Btree Array.unsafe_get"). *)
+let allow_keys d =
+  [ Printf.sprintf "%s %s" d.rule d.modname; fingerprint d ]
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+let status_string = function
+  | Violation -> "violation"
+  | Allowlisted _ -> "allowlisted"
+  | Baselined -> "baselined"
+
+(* --- machine-readable report --- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json d =
+  let reason =
+    match d.status with Allowlisted r -> Printf.sprintf ", \"reason\": \"%s\"" (json_escape r) | _ -> ""
+  in
+  Printf.sprintf
+    "{\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \
+     \"module\": \"%s\", \"offender\": \"%s\", \"message\": \"%s\", \
+     \"status\": \"%s\"%s}"
+    d.rule (json_escape d.file) d.line d.col (json_escape d.modname)
+    (json_escape d.offender) (json_escape d.message)
+    (status_string d.status) reason
+
+let report_to_json diags =
+  let items = List.map (fun d -> "  " ^ to_json d) diags in
+  "[\n" ^ String.concat ",\n" items ^ "\n]\n"

@@ -1,0 +1,21 @@
+(* The disciplined counterpart: everything here is legal under all five
+   rules and must produce zero diagnostics. *)
+
+type mode = Fast | Careful
+
+let pick = function Fast -> 1 | Careful -> 2
+
+(* immediate argument: polymorphic [=] specializes to a tag compare *)
+let same_mode (x : mode) (y : mode) = x = y
+
+(* compiler-specialized comparison *)
+let close (x : float) (y : float) = x < y
+
+let is_empty l = match l with [] -> true | _ :: _ -> false
+
+let same_name = String.equal
+
+(* monomorphic hash table keyed by the type's own hash/equal *)
+module H = Hashtbl.Make (Tb_storage.Rid)
+
+let fresh () : int H.t = H.create 16

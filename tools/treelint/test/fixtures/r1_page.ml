@@ -1,0 +1,7 @@
+(* R1 fixtures: raw page access and a cost-model charge from a module that
+   is not whitelisted for either. *)
+
+let sneak_read stack pid =
+  Tb_storage.Disk.load_page (Tb_storage.Cache_stack.disk stack) pid
+
+let sneak_charge sim = Tb_sim.Sim.charge_disk_read sim

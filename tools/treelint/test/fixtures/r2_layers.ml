@@ -1,0 +1,6 @@
+(* R2 fixtures: an upward reference to a higher layer, and a reach into a
+   module marked internal to its own layer. *)
+
+let upward () = Tb_core.Fingerprint.collect ~scale:1
+
+let into_internals page = Tb_storage.Page_layout.size page

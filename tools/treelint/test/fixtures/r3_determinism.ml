@@ -1,0 +1,12 @@
+(* R3 fixtures: a nondeterminism source, polymorphic comparison on a boxed
+   type, a structural hash, and a generic hash table over boxed keys. *)
+
+type boxed = { a : int; b : string }
+
+let roll () = Random.int 6
+
+let same (x : boxed) (y : boxed) = x = y
+
+let structural_hash (x : boxed) = Hashtbl.hash x
+
+let fresh () : (boxed, int) Hashtbl.t = Hashtbl.create 8

@@ -1,0 +1,12 @@
+(* R4 fixture: [forgotten] is toplevel mutable state with no reset path and
+   must flag; [remembered] is reachable from [reset] and must not. *)
+
+let forgotten = ref 0
+
+let bump () = incr forgotten
+
+let remembered = ref 0
+
+let observe () = !remembered
+
+let reset () = remembered := 0

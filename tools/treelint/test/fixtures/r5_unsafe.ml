@@ -1,0 +1,3 @@
+(* R5 fixture: an unsafe access outside the codec/page layer. *)
+
+let first (a : int array) = Array.unsafe_get a 0

@@ -1,0 +1,183 @@
+(* Treelint's own test suite: runs the engine over the fixture library (one
+   deliberately violating module per rule, one clean module) and asserts the
+   exact rule ids, locations and offenders; then exercises allowlist and
+   baseline suppression and the TOML-subset parser.
+
+   Runs from _build/default/tools/treelint/test; fixture cmts are next door
+   and the repo libraries' cmis three levels up.  argv carries extra cmi
+   directories (dune passes fmt's). *)
+
+module Config = Treelint_config
+module Diag = Treelint_diag
+module Engine = Treelint_engine
+
+let failures = ref 0
+
+let check name cond =
+  if cond then print_endline ("ok   " ^ name)
+  else begin
+    incr failures;
+    print_endline ("FAIL " ^ name)
+  end
+
+let fixtures_dir = "fixtures/.treelint_fixtures.objs/byte"
+
+let lib_objs =
+  List.filter Sys.file_exists
+    [
+      "../../../lib/sim/.tb_sim.objs/byte";
+      "../../../lib/storage/.tb_storage.objs/byte";
+      "../../../lib/store/.tb_store.objs/byte";
+      "../../../lib/query/.tb_query.objs/byte";
+      "../../../lib/derby/.tb_derby.objs/byte";
+      "../../../lib/oo7/.tb_oo7.objs/byte";
+      "../../../lib/statdb/.tb_statdb.objs/byte";
+      "../../../lib/core/.tb_core.objs/byte";
+    ]
+
+let extra_dirs =
+  lib_objs @ List.map Filename.dirname (List.tl (Array.to_list Sys.argv))
+
+let run ?(allow = []) ?(baseline = []) () =
+  let config = Config.load "treelint_test.toml" in
+  let config = { config with Config.allow = config.Config.allow @ allow } in
+  Engine.run ~config ~baseline ~extra_dirs ~dirs:[ fixtures_dir ] ()
+
+(* (rule, source basename, line, offender) for every expected diagnostic;
+   fixture line numbers are load-bearing. *)
+let expected =
+  [
+    ("R1", "r1_page.ml", 5, "Disk.load_page");
+    ("R1", "r1_page.ml", 7, "Sim.charge_disk_read");
+    ("R2", "r2_layers.ml", 4, "core.Fingerprint.collect");
+    ("R2", "r2_layers.ml", 6, "Page_layout.size");
+    ("R3", "r3_determinism.ml", 6, "Random.int");
+    ("R3", "r3_determinism.ml", 8, "=@boxed");
+    ("R3", "r3_determinism.ml", 10, "Hashtbl.hash");
+    ("R3", "r3_determinism.ml", 12, "Hashtbl.create@boxed");
+    ("R4", "r4_state.ml", 4, "forgotten");
+    ("R5", "r5_unsafe.ml", 3, "Array.unsafe_get");
+  ]
+
+let describe (r, f, l, o) = Printf.sprintf "%s %s:%d %s" r f l o
+
+let test_fixture_diagnostics () =
+  let result = run () in
+  let got =
+    List.map
+      (fun d ->
+        (d.Diag.rule, Filename.basename d.Diag.file, d.Diag.line, d.Diag.offender))
+      result.Engine.diagnostics
+  in
+  check "fixture library scanned (6 modules)" (result.Engine.files_scanned = 6);
+  check
+    (Printf.sprintf "fixture violation count (%d, want %d)"
+       result.Engine.violations (List.length expected))
+    (result.Engine.violations = List.length expected);
+  List.iter
+    (fun e -> check ("found: " ^ describe e) (List.mem e got))
+    expected;
+  List.iter
+    (fun g ->
+      check ("no extra diagnostic: " ^ describe g) (List.mem g expected))
+    got;
+  check "clean.ml produced nothing"
+    (not
+       (List.exists
+          (fun d -> Filename.basename d.Diag.file = "clean.ml")
+          result.Engine.diagnostics))
+
+let test_allowlist_member () =
+  let result =
+    run ~allow:[ ("R5 R5_unsafe Array.unsafe_get", "fixture exception") ] ()
+  in
+  check "member allow drops one violation"
+    (result.Engine.violations = List.length expected - 1);
+  check "member allow marks it allowlisted" (result.Engine.allowlisted = 1);
+  check "allow reason is carried through"
+    (List.exists
+       (fun d ->
+         match d.Diag.status with
+         | Diag.Allowlisted r -> r = "fixture exception"
+         | _ -> false)
+       result.Engine.diagnostics)
+
+let test_allowlist_module_wide () =
+  let result =
+    run ~allow:[ ("R3 R3_determinism", "fixture-wide exception") ] ()
+  in
+  check "module-wide allow suppresses all four R3 diagnostics"
+    (result.Engine.allowlisted = 4 && result.Engine.violations = 6)
+
+let test_baseline () =
+  let all = run () in
+  let baseline =
+    List.map Diag.fingerprint all.Engine.diagnostics
+    |> List.sort_uniq String.compare
+  in
+  let result = run ~baseline () in
+  check "full baseline silences every violation"
+    (result.Engine.violations = 0);
+  check "baselined diagnostics are still counted"
+    (result.Engine.baselined = List.length expected)
+
+(* --- TOML-subset parser --- *)
+
+let with_temp_config contents f =
+  let path = Filename.temp_file ~temp_dir:"." "treelint_test" ".toml" in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_toml_multiline_list () =
+  with_temp_config
+    "[rules.r3]\n\
+     # comment with a \"quote\" and = sign\n\
+     banned = [\n\
+    \  \"Random.\", \"Sys.time\",  # trailing comment\n\
+    \  \"Hashtbl.hash\",\n\
+     ]\n"
+    (fun path ->
+      let c = Config.load path in
+      check "multi-line list parses"
+        (c.Config.r3_banned = [ "Random."; "Sys.time"; "Hashtbl.hash" ]))
+
+let test_toml_quoted_keys_and_types () =
+  with_temp_config
+    "[layers]\nsim = 0\nstore = 2\n\
+     [allow]\n\"R5 Btree Array.unsafe_get\" = \"bounds checked at entry\"\n"
+    (fun path ->
+      let c = Config.load path in
+      check "integer values parse"
+        (c.Config.layers = [ ("sim", 0); ("store", 2) ]);
+      check "quoted allow keys parse"
+        (c.Config.allow
+        = [ ("R5 Btree Array.unsafe_get", "bounds checked at entry") ]))
+
+let expect_parse_error name contents =
+  with_temp_config contents (fun path ->
+      check name
+        (match Config.load path with
+        | _ -> false
+        | exception Config.Parse_error _ -> true))
+
+let test_toml_errors () =
+  expect_parse_error "empty allow reason is rejected"
+    "[allow]\n\"R1 Exec\" = \"\"\n";
+  expect_parse_error "unterminated list is rejected" "[rules.r5]\nbanned = [\n";
+  expect_parse_error "junk value is rejected" "[layers]\nsim = zero\n"
+
+let () =
+  test_fixture_diagnostics ();
+  test_allowlist_member ();
+  test_allowlist_module_wide ();
+  test_baseline ();
+  test_toml_multiline_list ();
+  test_toml_quoted_keys_and_types ();
+  test_toml_errors ();
+  if !failures > 0 then begin
+    Printf.printf "treelint_tests: %d failure(s)\n" !failures;
+    exit 1
+  end
+  else print_endline "treelint_tests: all passed"
