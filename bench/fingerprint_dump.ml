@@ -14,4 +14,4 @@ let () =
         prerr_endline "usage: fingerprint_dump [--scale N]";
         exit 2
   in
-  List.iter print_endline (Tb_core.Fingerprint.collect ~scale)
+  List.iter print_endline (Tb_core.Fingerprint.collect ~scale ())

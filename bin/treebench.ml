@@ -131,14 +131,34 @@ let query_cmd =
     let doc = "Print the first rows of the result." in
     Arg.(value & flag & info [ "show" ] ~doc)
   in
-  let run oql scale shape org algo seq sorted show =
+  let explain_arg =
+    let doc =
+      "EXPLAIN ANALYZE: print the physical operator tree with per-operator \
+       rows, pages, Handles, hash/sort work and simulated ms, reconciled \
+       against the global counters."
+    in
+    Arg.(value & flag & info [ "explain" ] ~doc)
+  in
+  let run oql scale shape org algo seq sorted show explain =
     let b = build_db ~scale ~shape ~org in
+    let organization =
+      Tb_derby.Generator.estimate_organization b.Tb_derby.Generator.cfg
+    in
     let m =
-      Tb_core.Measurement.run_cold b.Tb_derby.Generator.db oql
-        ~organization:(Tb_derby.Generator.estimate_organization b.Tb_derby.Generator.cfg)
+      Tb_core.Measurement.run_cold b.Tb_derby.Generator.db oql ~organization
         ?force_algo:algo ~force_seq:seq ?force_sorted:sorted ~label:"query"
     in
     Format.printf "%a@." Tb_core.Measurement.pp m;
+    if explain then begin
+      Tb_store.Database.cold_restart b.Tb_derby.Generator.db;
+      let r, root, global =
+        Tb_query.Planner.run_explained b.Tb_derby.Generator.db oql
+          ~organization ?force_algo:algo ~force_seq:seq ?force_sorted:sorted
+          ~keep:false
+      in
+      Format.printf "%a" (Tb_query.Op.pp_report ~global) root;
+      Tb_query.Query_result.dispose r
+    end;
     if show then begin
       Tb_store.Database.cold_restart b.Tb_derby.Generator.db;
       let r =
@@ -155,7 +175,7 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ oql_arg $ scale_arg $ shape_arg $ org_arg $ algo_arg
-      $ seq_arg $ sorted_arg $ show_arg)
+      $ seq_arg $ sorted_arg $ show_arg $ explain_arg)
 
 (* --- plan --- *)
 

@@ -12,6 +12,9 @@ dune build @all
 # mutable-state registry and unsafe-op containment over the typed ASTs.
 # Prints `treelint: N rules, M files, 0 violations` on success.
 dune build @lint
+# runtest also diffs the plan-lowering / explain snapshots in test/snapshot/
+# against their committed expectations; after an intentional plan or
+# operator change, run `dune promote` and commit the updated .expected.
 dune runtest
 # Exhaustive crash-recovery fuzz: crash at every durable write of the
 # fixed-seed workload (the default runtest pass strides the same sweep).

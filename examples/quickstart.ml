@@ -35,7 +35,7 @@ let () =
   let q = Tb_query.Oql_parser.parse join in
   let plan = Tb_query.Planner.plan db q in
   Format.printf "  optimizer chose: %a@." Tb_query.Plan.pp plan;
-  let r = Tb_query.Exec.run db plan ~keep:false in
+  let r = Tb_query.Exec.run db (Tb_query.Planner.lower plan) ~keep:false in
   Format.printf "  %d result tuples, first few:@." (Tb_query.Query_result.count r);
   List.iteri
     (fun i v -> if i < 3 then Format.printf "    %a@." Tb_store.Value.pp v)

@@ -145,7 +145,7 @@ let () =
       (Tb_query.Oql_parser.parse join)
   in
   Format.printf "join:        %a@." Tb_query.Plan.pp plan;
-  let r = Tb_query.Exec.run db plan ~keep:false in
+  let r = Tb_query.Exec.run db (Tb_query.Planner.lower plan) ~keep:false in
   Printf.printf
     "             %d (document, section) pairs in %.2f simulated seconds\n"
     (Tb_query.Query_result.count r) (Tb_sim.Sim.elapsed_s sim);

@@ -44,17 +44,45 @@ let line ~tag db result_count =
     c.Counters.result_appends c.Counters.swap_faults
     sim.Sim.peak_working_bytes recovery
 
-let run_cold ?organization ?force_algo ?force_seq ?force_sorted ~tag db q =
+(* Compact per-operator suffix: opcode:rows_out:pages_read per node in
+   pre-order.  Off by default so the golden file stays byte-identical; the
+   per-operator view is an opt-in refinement that pins down not just the
+   totals but which operator produced them. *)
+let per_op_suffix root =
+  let buf = Buffer.create 64 in
+  Tb_query.Op.iter
+    (fun node ->
+      let fr = node.Tb_query.Op.frame in
+      Buffer.add_string buf
+        (Printf.sprintf " %s:%d:%d"
+           (Tb_query.Op.opcode node)
+           fr.Tb_query.Op.rows_out fr.Tb_query.Op.pages_read))
+    root;
+  Buffer.contents buf
+
+let run_cold ?(per_op = false) ?organization ?force_algo ?force_seq
+    ?force_sorted ~tag db q =
   let sim = Database.sim db in
   Database.cold_restart db;
   Sim.reset sim;
-  let r =
-    Tb_query.Planner.run ?organization ?force_algo ?force_seq ?force_sorted
-      ~keep:false db q
-  in
-  let n = Tb_query.Query_result.count r in
-  Tb_query.Query_result.dispose r;
-  line ~tag db n
+  if per_op then begin
+    let r, root, _global =
+      Tb_query.Planner.run_explained ?organization ?force_algo ?force_seq
+        ?force_sorted ~keep:false db q
+    in
+    let n = Tb_query.Query_result.count r in
+    Tb_query.Query_result.dispose r;
+    line ~tag db n ^ " ops:" ^ per_op_suffix root
+  end
+  else begin
+    let r =
+      Tb_query.Planner.run ?organization ?force_algo ?force_seq ?force_sorted
+        ~keep:false db q
+    in
+    let n = Tb_query.Query_result.count r in
+    Tb_query.Query_result.dispose r;
+    line ~tag db n
+  end
 
 let selection_query (b : Generator.built) ~sel_permille =
   let k = sel_permille * Array.length b.Generator.patients / 1000 in
@@ -76,7 +104,7 @@ let org_name = function
   | Generator.Composition -> "composition"
   | Generator.Assoc_ordered -> "assoc"
 
-let join_lines ~scale shape org =
+let join_lines ?per_op ~scale shape org =
   let cfg = Generator.config ~scale shape org in
   let b = Generator.build ~cost:(Tb_sim.Cost_model.scaled scale) cfg in
   let organization = Generator.estimate_organization cfg in
@@ -88,7 +116,7 @@ let join_lines ~scale shape org =
             Printf.sprintf "join %s %s %s %d/%d" (shape_name shape)
               (org_name org) (Plan.algo_name algo) sel_pat sel_prov
           in
-          run_cold ~organization ~force_algo:algo ~force_sorted:true ~tag
+          run_cold ?per_op ~organization ~force_algo:algo ~force_sorted:true ~tag
             b.Generator.db
             (join_query b ~sel_pat ~sel_prov))
         algos)
@@ -96,7 +124,7 @@ let join_lines ~scale shape org =
 
 (* Selections of Figures 6/7/9 on the wide class-clustered database: plain
    scan, unsorted index scan and sorted index scan across selectivities. *)
-let selection_lines ~scale =
+let selection_lines ?per_op ~scale () =
   let cfg = Generator.config ~scale `Wide Generator.Class_clustered in
   let b = Generator.build ~cost:(Tb_sim.Cost_model.scaled scale) cfg in
   let sel accesses =
@@ -107,15 +135,15 @@ let selection_lines ~scale =
           (fun access ->
             match access with
             | `Scan ->
-                run_cold ~force_seq:true
+                run_cold ?per_op ~force_seq:true
                   ~tag:(Printf.sprintf "sel scan p=%d" sel_permille)
                   b.Generator.db q
             | `Index ->
-                run_cold ~force_sorted:false
+                run_cold ?per_op ~force_sorted:false
                   ~tag:(Printf.sprintf "sel index p=%d" sel_permille)
                   b.Generator.db q
             | `Sorted ->
-                run_cold ~force_sorted:true
+                run_cold ?per_op ~force_sorted:true
                   ~tag:(Printf.sprintf "sel sorted p=%d" sel_permille)
                   b.Generator.db q)
           accesses)
@@ -126,10 +154,10 @@ let selection_lines ~scale =
 (* The full workload behind fig6/fig7/fig9/fig11-fig15, in a fixed order.
    Each database is built, measured and dropped before the next one so peak
    RSS stays one simulated disk. *)
-let collect ~scale =
-  selection_lines ~scale
+let collect ?per_op ~scale () =
+  selection_lines ?per_op ~scale ()
   @ List.concat_map
-      (fun (shape, org) -> join_lines ~scale shape org)
+      (fun (shape, org) -> join_lines ?per_op ~scale shape org)
       [
         (`Wide, Generator.Class_clustered);
         (`Wide, Generator.Composition);

@@ -15,4 +15,9 @@
     non-zero, so fault-free measured runs — which never log — keep matching
     the recorded golden lines byte for byte. *)
 
-val collect : scale:int -> string list
+(** [per_op] (default false) appends an [ops:] suffix to every line —
+    [opcode:rows_out:pages_read] per operator of the executed tree, in
+    pre-order.  The default output is unchanged, so the golden file stays
+    byte-identical; the suffix refines the totals down to the operator
+    that produced them. *)
+val collect : ?per_op:bool -> scale:int -> unit -> string list

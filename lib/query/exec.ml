@@ -1,312 +1,216 @@
+(* The physical-plan interpreter.
+
+   One small recursive walk drives the operator tree {!Planner.lower}
+   assembles: rid streams (scans), binding streams (fetch / navigation /
+   joins), (key, payload) streams (harvests) and value streams
+   (projection) are pushed bottom-up through emit callbacks, which keeps
+   the charge order — Handle lifetimes, page-fetch interleaving, hash and
+   sort traffic — identical to the monolithic drivers this replaced.
+
+   Charge discipline (treelint R1): this module never charges the cost
+   model itself.  All Sim charges happen inside the engine components it
+   calls (Database, Btree, Heap_file, Mem_hash, Query_result) and the
+   operator kernels in {!Operators}.  The interpreter only switches the
+   accounting frame ({!Op.Acct.enter}) so the charges land on the operator
+   responsible for them. *)
+
 module Value = Tb_store.Value
 module Database = Tb_store.Database
-module Handle = Tb_store.Handle
-module Btree = Tb_store.Btree
+module Heap_file = Tb_storage.Heap_file
 module Rid = Tb_storage.Rid
-module Sim = Tb_sim.Sim
+module Counters = Tb_sim.Counters
 
-(* A join side is visible either as a live Handle or as information stowed
-   in a hash table: "We always store in the hash tables the elements needed
-   to construct f(p, pa)" (Section 5). *)
-type source = Live of Handle.t | Stored of payload
-and payload = { self : Rid.t; attrs : (string * Value.t) list }
+type state = { db : Database.t; acct : Op.Acct.acct }
 
-let payload_bytes p =
-  List.fold_left
-    (fun acc (_, v) -> acc + 4 + Tb_store.Codec.encoded_size v)
-    Rid.on_disk_bytes p.attrs
+let lookup_env env v =
+  match List.assoc_opt v env with
+  | Some s -> s
+  | None -> invalid_arg ("Exec: unknown var " ^ v)
 
-(* Attribute names are resolved to schema slots once per plan; the per-row
-   work below (predicate evaluation, payload harvest, inverse navigation)
-   is then an integer-indexed load instead of a string lookup. *)
-type compiled_pred = { pslot : int; pcmp : Oql_ast.cmp; pconst : Value.t }
+(* The single live Handle a Fetch put in scope — what navigation, harvest
+   and probe operators consume. *)
+let live_of_env = function
+  | [ (_, Op.Live h) ] -> h
+  | _ -> invalid_arg "Exec: operator expects one Handle-backed variable"
 
-let compile_preds db ~cls preds =
-  List.map
-    (fun { Plan.attr; cmp; const } ->
-      { pslot = Database.attr_slot db ~cls attr; pcmp = cmp; pconst = const })
-    preds
+(* --- Rid streams --- *)
 
-(* [(name, slot)] for the attributes [select] needs from a side. *)
-let compile_needed db ~cls needed =
-  let attrs, _self = needed in
-  List.map (fun a -> (a, Database.attr_slot db ~cls a)) attrs
+let rec iter_rids st node emit =
+  let fr = node.Op.frame in
+  match node.Op.kind with
+  | Op.Seq_scan { cls } ->
+      Op.Acct.enter st.acct fr;
+      let cur = Database.scan_cursor st.db ~cls in
+      let rec go () =
+        match Database.cursor_next cur with
+        | Some rid ->
+            fr.Op.rows_out <- fr.Op.rows_out + 1;
+            emit rid;
+            Op.Acct.enter st.acct fr;
+            go ()
+        | None -> ()
+      in
+      go ()
+  | Op.Index_scan { index; lo; hi } ->
+      Op.Acct.enter st.acct fr;
+      Tb_store.Btree.range index.Tb_store.Index_def.tree ?lo ?hi (fun _ rid ->
+          fr.Op.rows_out <- fr.Op.rows_out + 1;
+          emit rid;
+          Op.Acct.enter st.acct fr)
+  | Op.Sort_rids { child } ->
+      let rids = ref [] in
+      let n = ref 0 in
+      iter_rids st child (fun rid ->
+          rids := rid :: !rids;
+          incr n);
+      Op.Acct.enter st.acct fr;
+      fr.Op.rows_in <- !n;
+      fr.Op.bytes <- !n * Rid.on_disk_bytes;
+      Operators.sorted_rids (Database.sim st.db) ~rids:!rids ~count:!n
+        (fun rid ->
+          fr.Op.rows_out <- fr.Op.rows_out + 1;
+          emit rid;
+          Op.Acct.enter st.acct fr)
+  | _ -> invalid_arg "Exec: operator does not produce Rids"
 
-(* Harvest exactly the attributes [select] needs from a live Handle. *)
-let make_payload db h ~slots =
-  {
-    self = h.Handle.rid;
-    attrs = List.map (fun (a, slot) -> (a, Database.get_att_slot db h slot)) slots;
-  }
+(* --- binding streams: (var, source) environments --- *)
 
-let eval_select db select ~lookup =
-  let rec ev = function
-    | Oql_ast.Const lit -> Oql_ast.literal_to_value lit
-    | Oql_ast.Var v -> (
-        match lookup v with
-        | Live h -> Value.Ref h.Handle.rid
-        | Stored p -> Value.Ref p.self)
-    | Oql_ast.Path (v, attr) -> (
-        match lookup v with
-        | Live h -> Database.get_att db h attr
-        | Stored p -> (
-            match List.assoc_opt attr p.attrs with
-            | Some x -> x
-            | None -> invalid_arg ("Exec: attribute " ^ attr ^ " not stowed")))
-    | Oql_ast.Mk_tuple fields -> Value.Tuple (List.map (fun (n, e) -> (n, ev e)) fields)
-  in
-  ev select
-
-let eval_preds db h preds =
-  List.for_all
-    (fun { pslot; pcmp; pconst } ->
-      Sim.charge_compare (Database.sim db) 1;
-      Oql_ast.eval_cmp pcmp (Database.get_att_slot db h pslot) pconst)
-    preds
-
-(* Iterate the Rids an access path yields, in its natural order. Residual
-   predicates are NOT applied here — the caller owns Handle traffic. *)
-let iter_access db access f =
-  match access with
-  | Plan.Seq_scan { cls; _ } -> Database.scan_extent db ~cls f
-  | Plan.Index_scan { index; lo; hi; sorted; _ } ->
-      let tree = index.Tb_store.Index_def.tree in
-      if not sorted then Btree.range tree ?lo ?hi (fun _ rid -> f rid)
+and iter_envs st node emit =
+  let db = st.db in
+  let fr = node.Op.frame in
+  match node.Op.kind with
+  | Op.Fetch { child; cls; var; preds; covering } ->
+      if covering then
+        (* Identity-only projection with no residual predicates: no
+           Handle traffic at all (Section 5's remark that navigation need
+           not read patients when returning objects). *)
+        iter_rids st child (fun rid ->
+            Op.Acct.enter st.acct fr;
+            fr.Op.rows_in <- fr.Op.rows_in + 1;
+            fr.Op.rows_out <- fr.Op.rows_out + 1;
+            emit [ (var, Op.Stored { Op.self = rid; attrs = [] }) ];
+            Op.Acct.enter st.acct fr)
       else begin
-        (* Figure 8 right: collect the matching Rids, sort them so the
-           fetches become (at worst) one sequential sweep. *)
-        let sim = Database.sim db in
-        let rids = ref [] in
-        let n = ref 0 in
-        Btree.range tree ?lo ?hi (fun _ rid ->
-            rids := rid :: !rids;
-            incr n);
-        let claim = !n * Rid.on_disk_bytes in
-        Sim.claim_bytes sim claim;
-        Sim.charge_sort sim !n;
-        let arr = Array.of_list !rids in
-        Array.sort Rid.compare arr;
-        Array.iter f arr;
-        Sim.release_bytes sim claim
+        let cpreds = Operators.compile_preds db ~cls preds in
+        iter_rids st child (fun rid ->
+            Op.Acct.enter st.acct fr;
+            fr.Op.rows_in <- fr.Op.rows_in + 1;
+            let h = Database.acquire db rid in
+            if Operators.eval_preds db h cpreds then begin
+              fr.Op.rows_out <- fr.Op.rows_out + 1;
+              emit [ (var, Op.Live h) ];
+              Op.Acct.enter st.acct fr
+            end;
+            Database.unref db h)
       end
-
-let access_preds = function
-  | Plan.Seq_scan { preds; _ } -> preds
-  | Plan.Index_scan { residual; _ } -> residual
-
-(* Whether a side must be materialized at all: an index-covered side whose
-   predicates are fully absorbed and that contributes only its identity to
-   the result can skip Handles entirely (Section 5's remark that navigation
-   needs not read patients when returning objects). *)
-let needs_handle ~residual ~needed =
-  let attrs, _ = needed in
-  match (residual, attrs) with [], [] -> false | _ -> true
-
-(* --- Selection (Figure 8) --- *)
-
-let run_selection db ~keep ~var ~cls ~access ~select ~aggregate =
-  let sim = Database.sim db in
-  let result = Query_result.create ?aggregate sim ~keep in
-  let preds = compile_preds db ~cls (access_preds access) in
-  let needed = Plan.needed_attrs var select in
-  let lookup h v =
-    if String.equal v var then Live h else invalid_arg ("Exec: unknown var " ^ v)
-  in
-  iter_access db access (fun rid ->
-      if needs_handle ~residual:preds ~needed then begin
-        let h = Database.acquire db rid in
-        if eval_preds db h preds then
-          Query_result.append result (eval_select db select ~lookup:(lookup h));
-        Database.unref db h
-      end
-      else begin
-        (* Identity-only projection under a covering index: no Handle. *)
-        let stored v =
-          if String.equal v var then Stored { self = rid; attrs = [] }
-          else invalid_arg ("Exec: unknown var " ^ v)
-        in
-        Query_result.append result (eval_select db select ~lookup:stored)
-      end);
-  result
-
-(* --- The four join algorithms (Section 5.1) --- *)
-
-let require_inv = function
-  | Some attr -> attr
-  | None ->
-      raise
-        (Plan.Unsupported
-           "this algorithm navigates child-to-parent but the schema declares \
-            no inverse reference")
-
-(* Parent-to-child navigation. Only the parent access path may use an
-   index; children are reached through the parent's collection. *)
-let run_nl db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~set_attr
-    ~parent_access ~child_preds ~select ~aggregate =
-  let sim = Database.sim db in
-  let result = Query_result.create ?aggregate sim ~keep in
-  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
-  let c_preds = compile_preds db ~cls:child_cls child_preds in
-  let set_slot = Database.attr_slot db ~cls:parent_cls set_attr in
-  let lookup ph ch v =
-    if String.equal v parent_var then Live ph
-    else if String.equal v child_var then Live ch
-    else invalid_arg ("Exec: unknown var " ^ v)
-  in
-  iter_access db parent_access (fun prid ->
-      let ph = Database.acquire db prid in
-      if eval_preds db ph p_preds then begin
-        let clients = Database.get_att_slot db ph set_slot in
-        Database.iter_set db clients (fun elt ->
-            match elt with
-            | Value.Ref crid ->
-                let ch = Database.acquire db crid in
-                if eval_preds db ch c_preds then
-                  Query_result.append result
-                    (eval_select db select ~lookup:(lookup ph ch));
-                Database.unref db ch
-            | Value.Nil -> ()
-            | _ -> invalid_arg "Exec: collection element is not a reference")
-      end;
-      Database.unref db ph);
-  result
-
-(* Child-to-parent navigation: "the join is hidden within the navigation
-   pattern".  Only the child access path may use an index; the parent
-   condition is tested once per child. *)
-let run_nojoin db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
-    ~inv_attr ~parent_preds ~child_access ~select ~aggregate =
-  let sim = Database.sim db in
-  let result = Query_result.create ?aggregate sim ~keep in
-  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
-  let p_preds = compile_preds db ~cls:parent_cls parent_preds in
-  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
-  let lookup ph ch v =
-    if String.equal v parent_var then Live ph
-    else if String.equal v child_var then Live ch
-    else invalid_arg ("Exec: unknown var " ^ v)
-  in
-  iter_access db child_access (fun crid ->
-      let ch = Database.acquire db crid in
-      if eval_preds db ch c_preds then begin
-        match Database.get_att_slot db ch inv_slot with
-        | Value.Ref prid ->
-            let ph = Database.acquire db prid in
-            if eval_preds db ph p_preds then
-              Query_result.append result
-                (eval_select db select ~lookup:(lookup ph ch));
-            Database.unref db ph
-        | Value.Nil -> ()
-        | _ -> invalid_arg "Exec: inverse attribute is not a reference"
-      end;
-      Database.unref db ch);
-  result
-
-(* Hash the parents, probe with the children. Both access paths may use
-   indexes and both collections are read sequentially. *)
-let run_phj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~inv_attr
-    ~parent_access ~child_access ~select ~aggregate =
-  let sim = Database.sim db in
-  let result = Query_result.create ?aggregate sim ~keep in
-  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
-  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
-  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
-  let slots_p =
-    compile_needed db ~cls:parent_cls (Plan.needed_attrs parent_var select)
-  in
-  let table : payload Mem_hash.t = Mem_hash.create sim in
-  iter_access db parent_access (fun prid ->
-      let ph = Database.acquire db prid in
-      if eval_preds db ph p_preds then begin
-        let payload = make_payload db ph ~slots:slots_p in
-        Mem_hash.add table ~key:prid ~payload_bytes:(payload_bytes payload) payload
-      end;
-      Database.unref db ph);
-  let lookup pp ch v =
-    if String.equal v parent_var then Stored pp
-    else if String.equal v child_var then Live ch
-    else invalid_arg ("Exec: unknown var " ^ v)
-  in
-  iter_access db child_access (fun crid ->
-      let ch = Database.acquire db crid in
-      if eval_preds db ch c_preds then begin
-        match Database.get_att_slot db ch inv_slot with
-        | Value.Ref prid ->
-            List.iter
-              (fun pp ->
-                Query_result.append result
-                  (eval_select db select ~lookup:(lookup pp ch)))
-              (Mem_hash.find table ~key:prid)
-        | Value.Nil -> ()
-        | _ -> invalid_arg "Exec: inverse attribute is not a reference"
-      end;
-      Database.unref db ch);
-  Mem_hash.dispose table;
-  result
-
-(* Hash the children by their parent reference, probe with the parents.
-   The paper's variation of the pointer-based join: because the table is
-   keyed by parent identity, the provider collection is scanned
-   sequentially instead of being fetched in hash order. *)
-let run_chj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~inv_attr
-    ~parent_access ~child_access ~select ~aggregate =
-  let sim = Database.sim db in
-  let result = Query_result.create ?aggregate sim ~keep in
-  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
-  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
-  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
-  let slots_c =
-    compile_needed db ~cls:child_cls (Plan.needed_attrs child_var select)
-  in
-  let table : payload Mem_hash.t = Mem_hash.create sim in
-  iter_access db child_access (fun crid ->
-      let ch = Database.acquire db crid in
-      if eval_preds db ch c_preds then begin
-        match Database.get_att_slot db ch inv_slot with
-        | Value.Ref prid ->
-            let payload = make_payload db ch ~slots:slots_c in
-            Mem_hash.add table ~key:prid
-              ~payload_bytes:(payload_bytes payload)
-              payload
-        | Value.Nil -> ()
-        | _ -> invalid_arg "Exec: inverse attribute is not a reference"
-      end;
-      Database.unref db ch);
-  let lookup ph cp v =
-    if String.equal v parent_var then Live ph
-    else if String.equal v child_var then Stored cp
-    else invalid_arg ("Exec: unknown var " ^ v)
-  in
-  iter_access db parent_access (fun prid ->
-      let ph = Database.acquire db prid in
-      if eval_preds db ph p_preds then
-        List.iter
-          (fun cp ->
-            Query_result.append result (eval_select db select ~lookup:(lookup ph cp)))
-          (Mem_hash.find table ~key:prid);
-      Database.unref db ph);
-  Mem_hash.dispose table;
-  result
-
-(* --- spilled partitions (hybrid hashing, DeWitt/Katz/Olken-style) --- *)
-
-(* A spilled payload travels as an encoded tuple whose first field is the
-   join key. *)
-let spill_record ~key payload =
-  Tb_store.Codec.encode
-    (Value.Tuple
-       (("@key", Value.Ref key)
-       :: ("@self", Value.Ref payload.self)
-       :: payload.attrs))
-
-let unspill_record body =
-  match Tb_store.Codec.decode_exn body with
-  | Value.Tuple (("@key", Value.Ref key) :: ("@self", Value.Ref self) :: attrs)
+  | Op.Nav_set { child; set_attr; owner_cls; nav_var; nav_cls; preds } ->
+      let set_slot = Database.attr_slot db ~cls:owner_cls set_attr in
+      let cpreds = Operators.compile_preds db ~cls:nav_cls preds in
+      iter_envs st child (fun env ->
+          Op.Acct.enter st.acct fr;
+          fr.Op.rows_in <- fr.Op.rows_in + 1;
+          let ph = live_of_env env in
+          let clients = Database.get_att_slot db ph set_slot in
+          Database.iter_set db clients (fun elt ->
+              match elt with
+              | Value.Ref crid ->
+                  let ch = Database.acquire db crid in
+                  if Operators.eval_preds db ch cpreds then begin
+                    fr.Op.rows_out <- fr.Op.rows_out + 1;
+                    emit ((nav_var, Op.Live ch) :: env);
+                    Op.Acct.enter st.acct fr
+                  end;
+                  Database.unref db ch
+              | Value.Nil -> ()
+              | _ -> invalid_arg "Exec: collection element is not a reference"))
+  | Op.Nav_inverse { child; inv_attr; owner_cls; nav_var; nav_cls; preds } ->
+      let inv_slot = Database.attr_slot db ~cls:owner_cls inv_attr in
+      let cpreds = Operators.compile_preds db ~cls:nav_cls preds in
+      iter_envs st child (fun env ->
+          Op.Acct.enter st.acct fr;
+          fr.Op.rows_in <- fr.Op.rows_in + 1;
+          let ch = live_of_env env in
+          match Database.get_att_slot db ch inv_slot with
+          | Value.Ref prid ->
+              let ph = Database.acquire db prid in
+              if Operators.eval_preds db ph cpreds then begin
+                fr.Op.rows_out <- fr.Op.rows_out + 1;
+                emit ((nav_var, Op.Live ph) :: env);
+                Op.Acct.enter st.acct fr
+              end;
+              Database.unref db ph
+          | Value.Nil -> ()
+          | _ -> invalid_arg "Exec: inverse attribute is not a reference")
+  | Op.Hash_probe { build; probe; probe_key; probe_cls; build_var; probe_var }
     ->
-      (key, { self; attrs })
-  | _ -> invalid_arg "Exec: corrupt spill record"
+      run_hash_probe st node.Op.frame ~build ~probe ~probe_key ~probe_cls
+        ~build_var ~probe_var emit
+  | Op.Merge { left; right; left_var; right_var } ->
+      run_merge st node.Op.frame ~left ~right ~left_var ~right_var emit
+  | _ -> invalid_arg "Exec: operator does not produce bindings"
 
-let new_spill_file db = Tb_storage.Heap_file.create_temp (Database.stack db)
+(* --- (key, payload) streams --- *)
+
+and iter_kvs st node emit =
+  let fr = node.Op.frame in
+  match node.Op.kind with
+  | Op.Harvest { child; key; cls; attrs } ->
+      let slots = Operators.compile_attrs st.db ~cls attrs in
+      let keyf = Operators.compile_key st.db ~cls key in
+      iter_envs st child (fun env ->
+          Op.Acct.enter st.acct fr;
+          fr.Op.rows_in <- fr.Op.rows_in + 1;
+          let h = live_of_env env in
+          match keyf h with
+          | Some k ->
+              let payload = Operators.make_payload st.db h ~slots in
+              fr.Op.rows_out <- fr.Op.rows_out + 1;
+              emit (k, payload);
+              Op.Acct.enter st.acct fr
+          | None -> ())
+  | _ -> invalid_arg "Exec: operator does not produce key/value pairs"
+
+(* --- hash joins --- *)
+
+(* In-memory build: PHJ hashes the parents, CHJ the children (keyed by the
+   parent reference).  The probe side stays live; matches extend its
+   binding environment with the stowed build payload. *)
+and run_hash_probe st fr ~build ~probe ~probe_key ~probe_cls ~build_var
+    ~probe_var emit =
+  let db = st.db in
+  let sim = Database.sim db in
+  match (probe.Op.kind, build.Op.kind) with
+  | Op.Spill_partition _, _ ->
+      run_hybrid st fr ~build ~probe ~build_var ~probe_var emit
+  | _, Op.Hash_build { child = bharv } ->
+      let bfr = build.Op.frame in
+      let table : Op.payload Mem_hash.t = Mem_hash.create sim in
+      Fun.protect
+        ~finally:(fun () ->
+          bfr.Op.bytes <- max bfr.Op.bytes (Mem_hash.size_bytes table);
+          Mem_hash.dispose table)
+        (fun () ->
+          iter_kvs st bharv (fun (key, payload) ->
+              Op.Acct.enter st.acct bfr;
+              bfr.Op.rows_in <- bfr.Op.rows_in + 1;
+              Mem_hash.add table ~key
+                ~payload_bytes:(Operators.payload_bytes payload)
+                payload);
+          let keyf = Operators.compile_key db ~cls:probe_cls probe_key in
+          iter_envs st probe (fun env ->
+              Op.Acct.enter st.acct fr;
+              fr.Op.rows_in <- fr.Op.rows_in + 1;
+              let h = live_of_env env in
+              match keyf h with
+              | Some key ->
+                  List.iter
+                    (fun bp ->
+                      fr.Op.rows_out <- fr.Op.rows_out + 1;
+                      emit ((build_var, Op.Stored bp) :: env);
+                      Op.Acct.enter st.acct fr)
+                    (Mem_hash.find table ~key)
+              | None -> ()))
+  | _ -> invalid_arg "Exec: Hash_probe expects a Hash_build build side"
 
 (* Hybrid hash join.  The build side is split into [partitions] buckets by
    key hash: bucket 0 is joined in memory on the fly, the others are
@@ -314,266 +218,215 @@ let new_spill_file db = Tb_storage.Heap_file.create_temp (Database.stack db)
    Disk traffic replaces the swap thrash of the in-memory algorithms: the
    fix the paper points at ("the need for hybrid hashing") but never
    measured. *)
-let run_hybrid db ~keep ~aggregate
-    ~build:(build_access, build_key, build_slots, build_preds)
-    ~probe:(probe_access, probe_key, probe_slots, probe_preds) ~partitions ~emit =
+and run_hybrid st fr ~build ~probe ~build_var ~probe_var emit =
+  let db = st.db in
   let sim = Database.sim db in
-  let result = Query_result.create ?aggregate sim ~keep in
-  let partitions = max 1 partitions in
+  let hb_fr, bspill_node, bharv =
+    match build.Op.kind with
+    | Op.Hash_build { child = ({ Op.kind = Op.Spill_partition { child; _ }; _ } as sp) }
+      ->
+        (build.Op.frame, sp, child)
+    | _ -> invalid_arg "Exec: hybrid build side must spill-partition"
+  in
+  let psp_fr, pharv_node, partitions =
+    match probe.Op.kind with
+    | Op.Spill_partition { child; partitions } ->
+        (probe.Op.frame, child, partitions)
+    | _ -> invalid_arg "Exec: hybrid probe side must spill-partition"
+  in
+  let bsp_fr = bspill_node.Op.frame in
+  let ph_fr = pharv_node.Op.frame in
+  let probe_fetch, pkey, pcls, pattrs =
+    match pharv_node.Op.kind with
+    | Op.Harvest { child; key; cls; attrs } -> (child, key, cls, attrs)
+    | _ -> invalid_arg "Exec: hybrid probe side must harvest"
+  in
   let bucket key = Rid.hash key mod partitions in
-  let table : payload Mem_hash.t = Mem_hash.create sim in
-  let build_spill = Array.init (max 0 (partitions - 1)) (fun _ -> new_spill_file db) in
-  let probe_spill = Array.init (max 0 (partitions - 1)) (fun _ -> new_spill_file db) in
+  let live = ref None in
+  let dispose_live () =
+    match !live with
+    | Some t ->
+        hb_fr.Op.bytes <- max hb_fr.Op.bytes (Mem_hash.size_bytes t);
+        Mem_hash.dispose t;
+        live := None
+    | None -> ()
+  in
+  Fun.protect ~finally:dispose_live @@ fun () ->
+  let table : Op.payload Mem_hash.t = Mem_hash.create sim in
+  live := Some table;
+  let build_spill = Operators.new_spill_files db (max 0 (partitions - 1)) in
+  let probe_spill = Operators.new_spill_files db (max 0 (partitions - 1)) in
   (* Build pass. *)
-  iter_access db build_access (fun rid ->
-      let h = Database.acquire db rid in
-      if eval_preds db h build_preds then begin
-        match build_key h with
-        | Some key ->
-            let payload = make_payload db h ~slots:build_slots in
-            if bucket key = 0 then
-              Mem_hash.add table ~key ~payload_bytes:(payload_bytes payload)
-                payload
-            else
-              ignore
-                (Tb_storage.Heap_file.insert
-                   build_spill.(bucket key - 1)
-                   (spill_record ~key payload))
-        | None -> ()
-      end;
-      Database.unref db h);
-  (* Probe pass: bucket 0 joins immediately, the rest spill. *)
-  iter_access db probe_access (fun rid ->
-      let h = Database.acquire db rid in
-      if eval_preds db h probe_preds then begin
-        match probe_key h with
-        | Some key ->
-            if bucket key = 0 then
-              List.iter
-                (fun bp -> emit result bp (make_payload db h ~slots:probe_slots))
-                (Mem_hash.find table ~key)
-            else
-              ignore
-                (Tb_storage.Heap_file.insert
-                   probe_spill.(bucket key - 1)
-                   (spill_record ~key (make_payload db h ~slots:probe_slots)))
-        | None -> ()
-      end;
-      Database.unref db h);
-  Mem_hash.dispose table;
+  iter_kvs st bharv (fun (key, payload) ->
+      Op.Acct.enter st.acct bsp_fr;
+      bsp_fr.Op.rows_in <- bsp_fr.Op.rows_in + 1;
+      if bucket key = 0 then begin
+        bsp_fr.Op.rows_out <- bsp_fr.Op.rows_out + 1;
+        Op.Acct.enter st.acct hb_fr;
+        hb_fr.Op.rows_in <- hb_fr.Op.rows_in + 1;
+        Mem_hash.add table ~key
+          ~payload_bytes:(Operators.payload_bytes payload)
+          payload
+      end
+      else Operators.spill build_spill.(bucket key - 1) ~key payload);
+  (* Probe pass: bucket 0 joins immediately, the rest spill.  Bucket-0
+     probe payloads are harvested lazily, once per match. *)
+  let pslots = Operators.compile_attrs db ~cls:pcls pattrs in
+  let pkeyf = Operators.compile_key db ~cls:pcls pkey in
+  iter_envs st probe_fetch (fun env ->
+      Op.Acct.enter st.acct fr;
+      fr.Op.rows_in <- fr.Op.rows_in + 1;
+      let h = live_of_env env in
+      match pkeyf h with
+      | Some key ->
+          if bucket key = 0 then
+            List.iter
+              (fun bp ->
+                Op.Acct.enter st.acct ph_fr;
+                ph_fr.Op.rows_in <- ph_fr.Op.rows_in + 1;
+                let pl = Operators.make_payload db h ~slots:pslots in
+                ph_fr.Op.rows_out <- ph_fr.Op.rows_out + 1;
+                Op.Acct.enter st.acct fr;
+                fr.Op.rows_out <- fr.Op.rows_out + 1;
+                emit [ (build_var, Op.Stored bp); (probe_var, Op.Stored pl) ];
+                Op.Acct.enter st.acct fr)
+              (Mem_hash.find table ~key)
+          else begin
+            Op.Acct.enter st.acct ph_fr;
+            ph_fr.Op.rows_in <- ph_fr.Op.rows_in + 1;
+            let pl = Operators.make_payload db h ~slots:pslots in
+            ph_fr.Op.rows_out <- ph_fr.Op.rows_out + 1;
+            Op.Acct.enter st.acct psp_fr;
+            psp_fr.Op.rows_in <- psp_fr.Op.rows_in + 1;
+            Operators.spill probe_spill.(bucket key - 1) ~key pl
+          end
+      | None -> ());
+  dispose_live ();
   (* Spilled buckets, one at a time: each fits memory by construction. *)
   for b = 0 to partitions - 2 do
-    let table : payload Mem_hash.t = Mem_hash.create sim in
-    Tb_storage.Heap_file.scan build_spill.(b) (fun _ body ->
-        let key, payload = unspill_record body in
-        Mem_hash.add table ~key ~payload_bytes:(payload_bytes payload) payload);
-    Tb_storage.Heap_file.scan probe_spill.(b) (fun _ body ->
-        let key, payload = unspill_record body in
-        List.iter (fun bp -> emit result bp payload) (Mem_hash.find table ~key));
-    Mem_hash.dispose table
-  done;
-  result
-
-let key_of_inverse db inv_slot h =
-  match Database.get_att_slot db h inv_slot with
-  | Value.Ref prid -> Some prid
-  | Value.Nil -> None
-  | _ -> invalid_arg "Exec: inverse attribute is not a reference"
-
-let run_phhj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~inv_attr
-    ~parent_access ~child_access ~partitions ~select ~aggregate =
-  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
-  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
-  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
-  let slots_p =
-    compile_needed db ~cls:parent_cls (Plan.needed_attrs parent_var select)
-  in
-  let slots_c =
-    compile_needed db ~cls:child_cls (Plan.needed_attrs child_var select)
-  in
-  let lookup pp cp v =
-    if String.equal v parent_var then Stored pp
-    else if String.equal v child_var then Stored cp
-    else invalid_arg ("Exec: unknown var " ^ v)
-  in
-  let emit result pp cp =
-    Query_result.append result (eval_select db select ~lookup:(lookup pp cp))
-  in
-  run_hybrid db ~keep ~aggregate
-    ~build:(parent_access, (fun h -> Some h.Handle.rid), slots_p, p_preds)
-    ~probe:(child_access, key_of_inverse db inv_slot, slots_c, c_preds)
-    ~partitions ~emit
-
-let run_chhj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~inv_attr
-    ~parent_access ~child_access ~partitions ~select ~aggregate =
-  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
-  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
-  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
-  let slots_p =
-    compile_needed db ~cls:parent_cls (Plan.needed_attrs parent_var select)
-  in
-  let slots_c =
-    compile_needed db ~cls:child_cls (Plan.needed_attrs child_var select)
-  in
-  let lookup cp pp v =
-    if String.equal v parent_var then Stored pp
-    else if String.equal v child_var then Stored cp
-    else invalid_arg ("Exec: unknown var " ^ v)
-  in
-  let emit result cp pp =
-    Query_result.append result (eval_select db select ~lookup:(lookup cp pp))
-  in
-  run_hybrid db ~keep ~aggregate
-    ~build:(child_access, key_of_inverse db inv_slot, slots_c, c_preds)
-    ~probe:(parent_access, (fun h -> Some h.Handle.rid), slots_p, p_preds)
-    ~partitions ~emit
+    let tb : Op.payload Mem_hash.t = Mem_hash.create sim in
+    live := Some tb;
+    Op.Acct.enter st.acct bsp_fr;
+    Heap_file.scan build_spill.(b) (fun _ body ->
+        Op.Acct.enter st.acct hb_fr;
+        let key, payload = Operators.unspill_record body in
+        hb_fr.Op.rows_in <- hb_fr.Op.rows_in + 1;
+        Mem_hash.add tb ~key
+          ~payload_bytes:(Operators.payload_bytes payload)
+          payload;
+        Op.Acct.enter st.acct bsp_fr);
+    Op.Acct.enter st.acct psp_fr;
+    Heap_file.scan probe_spill.(b) (fun _ body ->
+        Op.Acct.enter st.acct fr;
+        let key, pl = Operators.unspill_record body in
+        List.iter
+          (fun bp ->
+            fr.Op.rows_out <- fr.Op.rows_out + 1;
+            emit [ (build_var, Op.Stored bp); (probe_var, Op.Stored pl) ];
+            Op.Acct.enter st.acct fr)
+          (Mem_hash.find tb ~key);
+        Op.Acct.enter st.acct psp_fr);
+    dispose_live ()
+  done
 
 (* --- pointer-based sort-merge join --- *)
 
-(* External-sort accounting: [n log n] comparisons, plus write+read passes
-   when the run does not fit in memory. *)
-let charge_external_sort sim ~elems ~bytes =
-  Sim.charge_sort sim elems;
-  let avail = Tb_sim.Cost_model.available_bytes sim.Sim.cost in
-  if bytes > avail && avail > 0 then begin
-    let fan_in = 8.0 in
-    let passes =
-      int_of_float
-        (ceil (log (float_of_int bytes /. float_of_int avail) /. log fan_in))
-    in
-    let pages = (bytes / sim.Sim.cost.Tb_sim.Cost_model.page_size) + 1 in
-    for _ = 1 to max 1 passes * pages do
-      Sim.charge_disk_write sim;
-      Sim.charge_disk_read sim
-    done
-  end
+and run_merge st fr ~left ~right ~left_var ~right_var emit =
+  let sim = Database.sim st.db in
+  let run_sort node =
+    match node.Op.kind with
+    | Op.Sort { child } ->
+        let sfr = node.Op.frame in
+        let acc = ref [] in
+        let bytes = ref 0 in
+        iter_kvs st child (fun (k, p) ->
+            Op.Acct.enter st.acct sfr;
+            sfr.Op.rows_in <- sfr.Op.rows_in + 1;
+            acc := (k, p) :: !acc;
+            bytes := !bytes + Operators.payload_bytes p);
+        Op.Acct.enter st.acct sfr;
+        let arr = Operators.claim_and_sort sim !acc ~bytes:!bytes in
+        sfr.Op.bytes <- !bytes;
+        sfr.Op.rows_out <- Array.length arr;
+        (arr, !bytes)
+    | _ -> invalid_arg "Exec: Merge expects Sort children"
+  in
+  (* Both runs stay claimed until the merge is done; release also on
+     exception so a failed query cannot leak simulated RAM. *)
+  let claimed = ref 0 in
+  Fun.protect ~finally:(fun () -> Operators.release_bytes sim !claimed)
+  @@ fun () ->
+  let parents, p_bytes = run_sort left in
+  claimed := !claimed + p_bytes;
+  let children, c_bytes = run_sort right in
+  claimed := !claimed + c_bytes;
+  Op.Acct.enter st.acct fr;
+  fr.Op.rows_in <- Array.length parents + Array.length children;
+  Operators.merge_join sim ~bytes:(p_bytes + c_bytes) ~parents ~children
+    (fun pp cp ->
+      fr.Op.rows_out <- fr.Op.rows_out + 1;
+      emit [ (left_var, Op.Stored pp); (right_var, Op.Stored cp) ];
+      Op.Acct.enter st.acct fr)
 
-let run_smj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls ~inv_attr
-    ~parent_access ~child_access ~select ~aggregate =
+(* --- value streams and the sink --- *)
+
+let iter_values st node emit =
+  match node.Op.kind with
+  | Op.Project { child; select } ->
+      let fr = node.Op.frame in
+      iter_envs st child (fun env ->
+          Op.Acct.enter st.acct fr;
+          fr.Op.rows_in <- fr.Op.rows_in + 1;
+          let v = Operators.eval_select st.db select ~lookup:(lookup_env env) in
+          fr.Op.rows_out <- fr.Op.rows_out + 1;
+          emit v;
+          Op.Acct.enter st.acct fr)
+  | _ -> invalid_arg "Exec: operator does not produce values"
+
+let run_explained db root ~keep =
   let sim = Database.sim db in
-  let result = Query_result.create ?aggregate sim ~keep in
-  let inv_slot = Database.attr_slot db ~cls:child_cls (require_inv inv_attr) in
-  let p_preds = compile_preds db ~cls:parent_cls (access_preds parent_access) in
-  let c_preds = compile_preds db ~cls:child_cls (access_preds child_access) in
-  let slots_p =
-    compile_needed db ~cls:parent_cls (Plan.needed_attrs parent_var select)
+  Op.reset_frames root;
+  let acct = Op.Acct.create sim root.Op.frame in
+  let st = { db; acct } in
+  let c = sim.Tb_sim.Sim.counters in
+  let ms0 = Tb_sim.Clock.now_ms sim.Tb_sim.Sim.clock in
+  let dr0 = c.Counters.disk_reads
+  and dw0 = c.Counters.disk_writes
+  and ha0 = c.Counters.handle_allocs
+  and ga0 = c.Counters.get_atts
+  and cmp0 = c.Counters.comparisons
+  and hi0 = c.Counters.hash_inserts
+  and hp0 = c.Counters.hash_probes
+  and sc0 = c.Counters.sort_comparisons in
+  let result =
+    match root.Op.kind with
+    | Op.Materialize { child; aggregate } ->
+        let fr = root.Op.frame in
+        let result = Query_result.create ?aggregate sim ~keep in
+        iter_values st child (fun v ->
+            Op.Acct.enter st.acct fr;
+            fr.Op.rows_in <- fr.Op.rows_in + 1;
+            Query_result.append result v;
+            fr.Op.rows_out <- fr.Op.rows_out + 1);
+        Op.Acct.enter st.acct fr;
+        fr.Op.bytes <- Query_result.size_bytes result;
+        result
+    | _ -> invalid_arg "Exec: operator tree root must be Materialize"
   in
-  let slots_c =
-    compile_needed db ~cls:child_cls (Plan.needed_attrs child_var select)
+  Op.Acct.flush acct;
+  let global =
+    {
+      Op.t_handles = c.Counters.handle_allocs - ha0;
+      t_pages_read = c.Counters.disk_reads - dr0;
+      t_pages_written = c.Counters.disk_writes - dw0;
+      t_get_atts = c.Counters.get_atts - ga0;
+      t_cmps = c.Counters.comparisons - cmp0;
+      t_hash_ops =
+        c.Counters.hash_inserts - hi0 + c.Counters.hash_probes - hp0;
+      t_sort_cmps = c.Counters.sort_comparisons - sc0;
+      t_ms = Tb_sim.Clock.now_ms sim.Tb_sim.Sim.clock -. ms0;
+    }
   in
-  let gather access preds key_of slots =
-    let acc = ref [] in
-    let bytes = ref 0 in
-    iter_access db access (fun rid ->
-        let h = Database.acquire db rid in
-        if eval_preds db h preds then begin
-          match key_of h with
-          | Some key ->
-              let payload = make_payload db h ~slots in
-              acc := (key, payload) :: !acc;
-              bytes := !bytes + payload_bytes payload
-        | None -> ()
-        end;
-        Database.unref db h);
-    Sim.claim_bytes sim !bytes;
-    let arr = Array.of_list !acc in
-    charge_external_sort sim ~elems:(Array.length arr) ~bytes:!bytes;
-    Array.sort (fun (a, _) (b, _) -> Rid.compare a b) arr;
-    (arr, !bytes)
-  in
-  let parents, p_bytes =
-    gather parent_access p_preds (fun h -> Some h.Handle.rid) slots_p
-  in
-  let children, c_bytes =
-    gather child_access c_preds (key_of_inverse db inv_slot) slots_c
-  in
-  (* Runs that do not fit in memory together are streamed through disk once
-     more (write out, read back for the merge). *)
-  if Sim.excess_ratio sim > 0.0 then begin
-    let pages =
-      ((p_bytes + c_bytes) / sim.Sim.cost.Tb_sim.Cost_model.page_size) + 1
-    in
-    for _ = 1 to pages do
-      Sim.charge_disk_write sim;
-      Sim.charge_disk_read sim
-    done
-  end;
-  (* Merge: parents' keys are unique (their own rids). *)
-  let lookup pp cp v =
-    if String.equal v parent_var then Stored pp
-    else if String.equal v child_var then Stored cp
-    else invalid_arg ("Exec: unknown var " ^ v)
-  in
-  let np = Array.length parents and nc = Array.length children in
-  let i = ref 0 in
-  for j = 0 to nc - 1 do
-    let ckey, cp = children.(j) in
-    while !i < np && Rid.compare (fst parents.(!i)) ckey < 0 do
-      Sim.charge_compare sim 1;
-      incr i
-    done;
-    Sim.charge_compare sim 1;
-    if !i < np && Rid.equal (fst parents.(!i)) ckey then
-      Query_result.append result
-        (eval_select db select ~lookup:(lookup (snd parents.(!i)) cp))
-  done;
-  Sim.release_bytes sim (p_bytes + c_bytes);
-  result
+  (result, global)
 
-let run db plan ~keep =
-  match plan with
-  | Plan.Selection { var; cls; access; select; aggregate } ->
-      run_selection db ~keep ~var ~cls ~access ~select ~aggregate
-  | Plan.Hier_join
-      {
-        algo;
-        parent_var;
-        parent_cls;
-        child_var;
-        child_cls;
-        set_attr;
-        inv_attr;
-        parent_access;
-        child_access;
-        partitions;
-        select;
-        aggregate;
-      } -> (
-      match algo with
-      | Plan.NL ->
-          (* NL cannot use the child index: fold the child side's window
-             and residual back into plain predicates. *)
-          let child_preds =
-            match child_access with
-            | Plan.Seq_scan { preds; _ } -> preds
-            | Plan.Index_scan _ ->
-                invalid_arg "Exec: NL child access must be a scan"
-          in
-          run_nl db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
-            ~set_attr ~parent_access ~child_preds ~select ~aggregate
-      | Plan.NOJOIN ->
-          let parent_preds =
-            match parent_access with
-            | Plan.Seq_scan { preds; _ } -> preds
-            | Plan.Index_scan _ ->
-                invalid_arg "Exec: NOJOIN parent access must be a scan"
-          in
-          run_nojoin db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
-            ~inv_attr ~parent_preds ~child_access ~select ~aggregate
-      | Plan.PHJ ->
-          run_phj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
-            ~inv_attr ~parent_access ~child_access ~select ~aggregate
-      | Plan.CHJ ->
-          run_chj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
-            ~inv_attr ~parent_access ~child_access ~select ~aggregate
-      | Plan.PHHJ ->
-          run_phhj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
-            ~inv_attr ~parent_access ~child_access ~partitions ~select
-            ~aggregate
-      | Plan.CHHJ ->
-          run_chhj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
-            ~inv_attr ~parent_access ~child_access ~partitions ~select
-            ~aggregate
-      | Plan.SMJ ->
-          run_smj db ~keep ~parent_var ~parent_cls ~child_var ~child_cls
-            ~inv_attr ~parent_access ~child_access ~select ~aggregate)
+let run db root ~keep = fst (run_explained db root ~keep)

@@ -1,15 +1,24 @@
-(** The query executor: runs a physical plan against a database, charging
-    every page fetch, Handle, comparison, hash operation, sort and result
-    append to the simulated clock.
+(** The physical-plan interpreter.
 
-    Each operator follows the paper's pseudo-code:
-    - sequential scans and (sorted) index scans are Figure 8;
-    - NL, NOJOIN, PHJ, CHJ are the four algorithms of Section 5.1, with
-      PHJ/CHJ the pointer-based hash joins (CHJ being the paper's variation
-      of Shekita & Carey's pointer-based join that scans the outer
-      collection sequentially). *)
+    One recursive walk drives the operator tree {!Planner.lower} builds,
+    pushing rows bottom-up through emit callbacks so the charge order —
+    Handle lifetimes, page-fetch interleaving, hash and sort traffic — is
+    identical to the monolithic per-algorithm drivers this replaced.
 
-(** [run db plan ~keep] executes the plan and returns the materialized
-    result.  [keep] retains the tuples (small runs and tests); the caller
-    must {!Query_result.dispose} the result when done with it. *)
-val run : Tb_store.Database.t -> Plan.t -> keep:bool -> Query_result.t
+    Charge discipline (treelint R1): this module never charges the cost
+    model itself; all charges happen inside the engine components and the
+    {!Operators} kernels it calls.  The interpreter only switches the
+    accounting frame ({!Op.Acct.enter}) so charges land on the operator
+    responsible for them. *)
+
+(** [run db root ~keep] executes the tree.  The root must be
+    {!Op.Materialize}; frames are reset first, so a tree can be run
+    repeatedly.  Raises [Invalid_argument] on malformed trees (the planner
+    never builds one). *)
+val run : Tb_store.Database.t -> Op.t -> keep:bool -> Query_result.t
+
+(** Like {!run}, but also returns the run's global counter deltas in
+    explain-report shape.  [Op.reconciles ~global root] must hold
+    afterwards: per-operator frames sum exactly to these totals. *)
+val run_explained :
+  Tb_store.Database.t -> Op.t -> keep:bool -> Query_result.t * Op.totals

@@ -1,0 +1,358 @@
+module Value = Tb_store.Value
+module Handle = Tb_store.Handle
+module Index_def = Tb_store.Index_def
+module Rid = Tb_storage.Rid
+module Sim = Tb_sim.Sim
+module Counters = Tb_sim.Counters
+
+(* A join side is visible either as a live Handle or as information stowed
+   in a hash table: "We always store in the hash tables the elements needed
+   to construct f(p, pa)" (Section 5). *)
+type source = Live of Handle.t | Stored of payload
+and payload = { self : Rid.t; attrs : (string * Value.t) list }
+
+(* How an operator derives the join key from a live Handle: the object's
+   own identity (parents) or the inverse reference it stores (children). *)
+type key_spec = K_self | K_inverse of string
+
+(* Per-operator instrumentation.  Counters are attributed by reading the
+   global Tb_sim deltas between frame switches (see {!Acct}); the frame
+   itself never charges anything, so execution stays bit-identical whether
+   or not anyone looks at the explain output. *)
+type frame = {
+  mutable rows_in : int;
+  mutable rows_out : int;
+  mutable handles : int;  (** Handles allocated while this frame was live *)
+  mutable pages_read : int;
+  mutable pages_written : int;
+  mutable get_atts : int;
+  mutable cmps : int;
+  mutable hash_ops : int;  (** hash inserts + probes *)
+  mutable sort_cmps : int;
+  mutable bytes : int;  (** simulated bytes claimed (hash/sort/result) *)
+  mutable ms : float;  (** simulated clock advanced while live *)
+}
+
+type kind =
+  | Seq_scan of { cls : string }
+  | Index_scan of { index : Index_def.t; lo : int option; hi : int option }
+  | Sort_rids of { child : t }
+      (** buffer + sort the child's Rids (Figure 8 right) *)
+  | Fetch of {
+      child : t;
+      cls : string;
+      var : string;
+      preds : Plan.attr_pred list;
+      covering : bool;
+          (** no residual predicates and only the identity is needed: skip
+              Handles entirely (the covering-index shortcut) *)
+    }
+  | Nav_set of {
+      child : t;
+      set_attr : string;
+      owner_cls : string;
+      nav_var : string;
+      nav_cls : string;
+      preds : Plan.attr_pred list;
+    }  (** parent-to-child navigation through the set attribute (NL) *)
+  | Nav_inverse of {
+      child : t;
+      inv_attr : string;
+      owner_cls : string;
+      nav_var : string;
+      nav_cls : string;
+      preds : Plan.attr_pred list;
+    }  (** child-to-parent navigation through the inverse (NOJOIN) *)
+  | Harvest of { child : t; key : key_spec; cls : string; attrs : string list }
+      (** slot-compiled (key, payload) extraction from live Handles *)
+  | Hash_build of { child : t }
+  | Spill_partition of { child : t; partitions : int }
+      (** hybrid hashing: bucket 0 flows through, buckets 1.. spill to
+          temporary heap files *)
+  | Hash_probe of {
+      build : t;
+      probe : t;
+      probe_key : key_spec;
+      probe_cls : string;
+      build_var : string;
+      probe_var : string;
+    }
+  | Sort of { child : t }  (** buffer + external-sort (key, payload) runs *)
+  | Merge of { left : t; right : t; left_var : string; right_var : string }
+  | Project of { child : t; select : Oql_ast.expr }
+  | Materialize of { child : t; aggregate : Oql_ast.agg option }
+
+and t = { kind : kind; frame : frame }
+
+let fresh_frame () =
+  {
+    rows_in = 0;
+    rows_out = 0;
+    handles = 0;
+    pages_read = 0;
+    pages_written = 0;
+    get_atts = 0;
+    cmps = 0;
+    hash_ops = 0;
+    sort_cmps = 0;
+    bytes = 0;
+    ms = 0.0;
+  }
+
+let make kind = { kind; frame = fresh_frame () }
+
+let children node =
+  match node.kind with
+  | Seq_scan _ | Index_scan _ -> []
+  | Sort_rids { child }
+  | Fetch { child; _ }
+  | Nav_set { child; _ }
+  | Nav_inverse { child; _ }
+  | Harvest { child; _ }
+  | Hash_build { child }
+  | Spill_partition { child; _ }
+  | Sort { child }
+  | Project { child; _ }
+  | Materialize { child; _ } ->
+      [ child ]
+  | Hash_probe { build; probe; _ } -> [ build; probe ]
+  | Merge { left; right; _ } -> [ left; right ]
+
+let rec iter f node =
+  f node;
+  List.iter (iter f) (children node)
+
+let reset_frames node =
+  iter
+    (fun n ->
+      let fr = n.frame in
+      fr.rows_in <- 0;
+      fr.rows_out <- 0;
+      fr.handles <- 0;
+      fr.pages_read <- 0;
+      fr.pages_written <- 0;
+      fr.get_atts <- 0;
+      fr.cmps <- 0;
+      fr.hash_ops <- 0;
+      fr.sort_cmps <- 0;
+      fr.bytes <- 0;
+      fr.ms <- 0.0)
+    node
+
+let opcode node =
+  match node.kind with
+  | Seq_scan _ -> "seq_scan"
+  | Index_scan _ -> "index_scan"
+  | Sort_rids _ -> "sort_rids"
+  | Fetch _ -> "fetch"
+  | Nav_set _ -> "nav_set"
+  | Nav_inverse _ -> "nav_inverse"
+  | Harvest _ -> "harvest"
+  | Hash_build _ -> "hash_build"
+  | Spill_partition _ -> "spill_partition"
+  | Hash_probe _ -> "hash_probe"
+  | Sort _ -> "sort"
+  | Merge _ -> "merge"
+  | Project _ -> "project"
+  | Materialize _ -> "materialize"
+
+let key_name = function
+  | K_self -> "self"
+  | K_inverse attr -> "inverse." ^ attr
+
+let pred_count = function [] -> "" | ps -> Printf.sprintf "[%d preds]" (List.length ps)
+
+let label node =
+  match node.kind with
+  | Seq_scan { cls } -> Printf.sprintf "seq_scan(%s)" cls
+  | Index_scan { index; lo; hi } ->
+      Printf.sprintf "index_scan(%s)[%s,%s)" index.Index_def.name
+        (match lo with Some k -> string_of_int k | None -> "-inf")
+        (match hi with Some k -> string_of_int k | None -> "+inf")
+  | Sort_rids _ -> "sort_rids"
+  | Fetch { cls; var; preds; covering; _ } ->
+      Printf.sprintf "fetch(%s:%s)%s%s" var cls (pred_count preds)
+        (if covering then " covering" else "")
+  | Nav_set { set_attr; nav_var; nav_cls; preds; _ } ->
+      Printf.sprintf "nav_set(.%s -> %s:%s)%s" set_attr nav_var nav_cls
+        (pred_count preds)
+  | Nav_inverse { inv_attr; nav_var; nav_cls; preds; _ } ->
+      Printf.sprintf "nav_inverse(.%s -> %s:%s)%s" inv_attr nav_var nav_cls
+        (pred_count preds)
+  | Harvest { key; attrs; _ } ->
+      Printf.sprintf "harvest(key=%s; attrs=[%s])" (key_name key)
+        (String.concat "," attrs)
+  | Hash_build _ -> "hash_build"
+  | Spill_partition { partitions; _ } ->
+      Printf.sprintf "spill_partition(%d)" partitions
+  | Hash_probe { probe_key; build_var; probe_var; _ } ->
+      Printf.sprintf "hash_probe(%s with %s, key=%s)" build_var probe_var
+        (key_name probe_key)
+  | Sort _ -> "sort"
+  | Merge { left_var; right_var; _ } ->
+      Printf.sprintf "merge(%s, %s)" left_var right_var
+  | Project _ -> "project"
+  | Materialize { aggregate = None; _ } -> "materialize"
+  | Materialize { aggregate = Some a; _ } ->
+      Printf.sprintf "aggregate(%s)" (Oql_ast.agg_name a)
+
+let pp_tree ppf node =
+  let rec go indent n =
+    Format.fprintf ppf "%s%s@." indent (label n);
+    List.iter (go (indent ^ "  ")) (children n)
+  in
+  go "" node
+
+(* --- reconciliation against the global counters --- *)
+
+type totals = {
+  t_handles : int;
+  t_pages_read : int;
+  t_pages_written : int;
+  t_get_atts : int;
+  t_cmps : int;
+  t_hash_ops : int;
+  t_sort_cmps : int;
+  t_ms : float;
+}
+
+let sum_frames node =
+  let acc =
+    ref
+      {
+        t_handles = 0;
+        t_pages_read = 0;
+        t_pages_written = 0;
+        t_get_atts = 0;
+        t_cmps = 0;
+        t_hash_ops = 0;
+        t_sort_cmps = 0;
+        t_ms = 0.0;
+      }
+  in
+  iter
+    (fun n ->
+      let f = n.frame and a = !acc in
+      acc :=
+        {
+          t_handles = a.t_handles + f.handles;
+          t_pages_read = a.t_pages_read + f.pages_read;
+          t_pages_written = a.t_pages_written + f.pages_written;
+          t_get_atts = a.t_get_atts + f.get_atts;
+          t_cmps = a.t_cmps + f.cmps;
+          t_hash_ops = a.t_hash_ops + f.hash_ops;
+          t_sort_cmps = a.t_sort_cmps + f.sort_cmps;
+          t_ms = a.t_ms +. f.ms;
+        })
+    node;
+  !acc
+
+let ms_close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1.0 (Float.abs b)
+
+let reconciles ~global node =
+  let s = sum_frames node in
+  s.t_handles = global.t_handles
+  && s.t_pages_read = global.t_pages_read
+  && s.t_pages_written = global.t_pages_written
+  && s.t_get_atts = global.t_get_atts
+  && s.t_cmps = global.t_cmps
+  && s.t_hash_ops = global.t_hash_ops
+  && s.t_sort_cmps = global.t_sort_cmps
+  && ms_close s.t_ms global.t_ms
+
+let report_line ppf ~name ~depth fr =
+  Format.fprintf ppf "%-46s %9d %9d %7d %6d %6d %8d %9d %8d %9d %10d %11.3f@."
+    (String.make (2 * depth) ' ' ^ name)
+    fr.rows_in fr.rows_out fr.handles fr.pages_read fr.pages_written
+    fr.get_atts fr.cmps fr.hash_ops fr.sort_cmps fr.bytes fr.ms
+
+let pp_report ~global ppf node =
+  Format.fprintf ppf "%-46s %9s %9s %7s %6s %6s %8s %9s %8s %9s %10s %11s@."
+    "operator" "rows_in" "rows_out" "handles" "pg_r" "pg_w" "get_att" "cmp"
+    "hash" "sort_cmp" "bytes" "ms";
+  let rec go depth n =
+    report_line ppf ~name:(label n) ~depth n.frame;
+    List.iter (go (depth + 1)) (children n)
+  in
+  go 0 node;
+  let s = sum_frames node in
+  let line tag (t : totals) =
+    Format.fprintf ppf "%-46s %9s %9s %7d %6d %6d %8d %9d %8d %9d %10s %11.3f@."
+      tag "" "" t.t_handles t.t_pages_read t.t_pages_written t.t_get_atts
+      t.t_cmps t.t_hash_ops t.t_sort_cmps "" t.t_ms
+  in
+  line "= operator totals" s;
+  line "= global counter deltas" global;
+  Format.fprintf ppf "= reconciled: %s@."
+    (if reconciles ~global node then "yes (integer columns exact)" else "NO")
+
+(* --- charge attribution ---
+
+   One rolling snapshot of the counters the explain output reports, plus
+   the simulated clock.  [enter] attributes everything that accrued since
+   the last switch to the frame that was current, then makes the new frame
+   current.  Read-only: attribution never touches the counters themselves,
+   so the charge stream is identical with or without instrumentation. *)
+module Acct = struct
+  type acct = {
+    sim : Sim.t;
+    mutable cur : frame;
+    mutable s_ms : float;
+    mutable s_dr : int;
+    mutable s_dw : int;
+    mutable s_ha : int;
+    mutable s_ga : int;
+    mutable s_cmp : int;
+    mutable s_hi : int;
+    mutable s_hp : int;
+    mutable s_sc : int;
+  }
+
+  let now_ms sim = Tb_sim.Clock.now_ms sim.Sim.clock
+
+  let create sim frame =
+    let c = sim.Sim.counters in
+    {
+      sim;
+      cur = frame;
+      s_ms = now_ms sim;
+      s_dr = c.Counters.disk_reads;
+      s_dw = c.Counters.disk_writes;
+      s_ha = c.Counters.handle_allocs;
+      s_ga = c.Counters.get_atts;
+      s_cmp = c.Counters.comparisons;
+      s_hi = c.Counters.hash_inserts;
+      s_hp = c.Counters.hash_probes;
+      s_sc = c.Counters.sort_comparisons;
+    }
+
+  let flush t =
+    let c = t.sim.Sim.counters in
+    let f = t.cur in
+    f.pages_read <- f.pages_read + c.Counters.disk_reads - t.s_dr;
+    f.pages_written <- f.pages_written + c.Counters.disk_writes - t.s_dw;
+    f.handles <- f.handles + c.Counters.handle_allocs - t.s_ha;
+    f.get_atts <- f.get_atts + c.Counters.get_atts - t.s_ga;
+    f.cmps <- f.cmps + c.Counters.comparisons - t.s_cmp;
+    f.hash_ops <-
+      f.hash_ops + c.Counters.hash_inserts - t.s_hi + c.Counters.hash_probes
+      - t.s_hp;
+    f.sort_cmps <- f.sort_cmps + c.Counters.sort_comparisons - t.s_sc;
+    let ms = now_ms t.sim in
+    f.ms <- f.ms +. (ms -. t.s_ms);
+    t.s_ms <- ms;
+    t.s_dr <- c.Counters.disk_reads;
+    t.s_dw <- c.Counters.disk_writes;
+    t.s_ha <- c.Counters.handle_allocs;
+    t.s_ga <- c.Counters.get_atts;
+    t.s_cmp <- c.Counters.comparisons;
+    t.s_hi <- c.Counters.hash_inserts;
+    t.s_hp <- c.Counters.hash_probes;
+    t.s_sc <- c.Counters.sort_comparisons
+
+  let enter t frame =
+    if frame != t.cur then begin
+      flush t;
+      t.cur <- frame
+    end
+end

@@ -1,0 +1,155 @@
+(** Physical operator trees — the Volcano-style decomposition of the seven
+    paper algorithms, with per-operator cost accounting.
+
+    A {!t} is an instrumented operator node: the planner lowers a {!Plan.t}
+    into a tree of these ({!Planner.lower}), the interpreter in {!Exec}
+    drives it, and every node carries a {!frame} recording the rows that
+    flowed through it and the slice of the simulated cost model it is
+    responsible for.  Attribution is read-only ({!Acct} diffs the global
+    {!Tb_sim.Counters} between frame switches), so the charge stream — and
+    the golden counter fingerprint — is identical whether or not anyone
+    looks at the explain output. *)
+
+(** A join side is visible either as a live Handle or as information stowed
+    in a hash table / sort run (Section 5). *)
+type source =
+  | Live of Tb_store.Handle.t
+  | Stored of payload
+
+and payload = {
+  self : Tb_storage.Rid.t;
+  attrs : (string * Tb_store.Value.t) list;
+}
+
+(** How an operator derives the join key from a live Handle. *)
+type key_spec =
+  | K_self  (** the object's own Rid (parents) *)
+  | K_inverse of string  (** the inverse reference attribute (children) *)
+
+(** Per-operator instrumentation, mutated by the executor only. *)
+type frame = {
+  mutable rows_in : int;
+  mutable rows_out : int;
+  mutable handles : int;
+  mutable pages_read : int;
+  mutable pages_written : int;
+  mutable get_atts : int;
+  mutable cmps : int;
+  mutable hash_ops : int;
+  mutable sort_cmps : int;
+  mutable bytes : int;
+  mutable ms : float;
+}
+
+type kind =
+  | Seq_scan of { cls : string }
+  | Index_scan of {
+      index : Tb_store.Index_def.t;
+      lo : int option;
+      hi : int option;
+    }
+  | Sort_rids of { child : t }
+  | Fetch of {
+      child : t;
+      cls : string;
+      var : string;
+      preds : Plan.attr_pred list;
+      covering : bool;
+    }
+  | Nav_set of {
+      child : t;
+      set_attr : string;
+      owner_cls : string;
+      nav_var : string;
+      nav_cls : string;
+      preds : Plan.attr_pred list;
+    }
+  | Nav_inverse of {
+      child : t;
+      inv_attr : string;
+      owner_cls : string;
+      nav_var : string;
+      nav_cls : string;
+      preds : Plan.attr_pred list;
+    }
+  | Harvest of { child : t; key : key_spec; cls : string; attrs : string list }
+  | Hash_build of { child : t }
+  | Spill_partition of { child : t; partitions : int }
+  | Hash_probe of {
+      build : t;
+      probe : t;
+      probe_key : key_spec;
+      probe_cls : string;
+      build_var : string;
+      probe_var : string;
+    }
+  | Sort of { child : t }
+  | Merge of { left : t; right : t; left_var : string; right_var : string }
+  | Project of { child : t; select : Oql_ast.expr }
+  | Materialize of { child : t; aggregate : Oql_ast.agg option }
+
+and t = { kind : kind; frame : frame }
+
+val make : kind -> t
+val fresh_frame : unit -> frame
+
+(** Zero every frame in the tree (the executor does this before a run, so a
+    tree can be executed repeatedly). *)
+val reset_frames : t -> unit
+
+val children : t -> t list
+
+(** Pre-order traversal. *)
+val iter : (t -> unit) -> t -> unit
+
+(** Bare constructor name, e.g. ["hash_probe"] — stable, used by the
+    fingerprint suffix. *)
+val opcode : t -> string
+
+(** Human-readable one-line description with arguments. *)
+val label : t -> string
+
+(** The lowered tree shape, one indented line per operator (the lowering
+    snapshots pin this down). *)
+val pp_tree : Format.formatter -> t -> unit
+
+(** {2 Reconciliation}
+
+    The counter deltas the whole run produced, in the fields the explain
+    report shows.  {!Exec.run_explained} measures them globally; summing
+    the frames must give the same numbers (exact for the integer columns,
+    within float epsilon for the simulated ms). *)
+type totals = {
+  t_handles : int;
+  t_pages_read : int;
+  t_pages_written : int;
+  t_get_atts : int;
+  t_cmps : int;
+  t_hash_ops : int;
+  t_sort_cmps : int;
+  t_ms : float;
+}
+
+val sum_frames : t -> totals
+val reconciles : global:totals -> t -> bool
+
+(** The EXPLAIN ANALYZE rendering: one row per operator plus an
+    operator-totals row, the global-counter-deltas row and a reconciliation
+    verdict. *)
+val pp_report : global:totals -> Format.formatter -> t -> unit
+
+(** {2 Charge attribution}
+
+    The executor's accounting context: a rolling snapshot of the reported
+    counters plus the simulated clock.  [enter acct frame] attributes
+    everything accrued since the last switch to the previously-current
+    frame; it reads the counters but never writes them. *)
+module Acct : sig
+  type acct
+
+  val create : Tb_sim.Sim.t -> frame -> acct
+  val enter : acct -> frame -> unit
+
+  (** Attribute the tail of the run to the current frame. *)
+  val flush : acct -> unit
+end

@@ -1,0 +1,97 @@
+(** The charging kernels behind the physical operators.
+
+    treelint's R1 charge discipline is split along this boundary: these
+    functions are the modeled engine components and may charge the
+    simulated cost model; the interpreter in {!Exec} orchestrates them and
+    may not charge anything itself.  Each kernel reproduces the charge
+    order of the pre-operator monolithic drivers verbatim — the golden
+    counter fingerprint depends on the sequence, not just the totals. *)
+
+(** Simulated size of a stowed payload (Rid + encoded attributes). *)
+val payload_bytes : Op.payload -> int
+
+(** A predicate with its attribute resolved to a schema slot. *)
+type compiled_pred = {
+  pslot : int;
+  pcmp : Oql_ast.cmp;
+  pconst : Tb_store.Value.t;
+}
+
+val compile_preds :
+  Tb_store.Database.t -> cls:string -> Plan.attr_pred list -> compiled_pred list
+
+(** [(name, slot)] pairs for a side's harvested attributes. *)
+val compile_attrs :
+  Tb_store.Database.t -> cls:string -> string list -> (string * int) list
+
+(** Harvest exactly the listed attributes from a live Handle (one charged
+    attribute access per slot). *)
+val make_payload :
+  Tb_store.Database.t -> Tb_store.Handle.t -> slots:(string * int) list -> Op.payload
+
+(** Evaluate the projection; Handle-backed variables charge attribute
+    accesses, stowed ones read the harvested payload. *)
+val eval_select :
+  Tb_store.Database.t ->
+  Oql_ast.expr ->
+  lookup:(string -> Op.source) ->
+  Tb_store.Value.t
+
+(** Short-circuit conjunction; one charged comparison and one charged
+    attribute access per evaluated predicate. *)
+val eval_preds : Tb_store.Database.t -> Tb_store.Handle.t -> compiled_pred list -> bool
+
+(** Resolve a {!Op.key_spec} against a side's class: [K_self] is free,
+    [K_inverse] charges one attribute access per row and yields [None] on
+    [Nil].  Raises [Invalid_argument] when the inverse attribute is not a
+    reference. *)
+val compile_key :
+  Tb_store.Database.t ->
+  cls:string ->
+  Op.key_spec ->
+  Tb_store.Handle.t ->
+  Tb_storage.Rid.t option
+
+(** [sorted_rids sim ~rids ~count f] claims the Rid buffer, charges the
+    sort, streams the Rids to [f] in Rid order and releases the claim —
+    also when [f] raises ([Fun.protect]), so a failed query cannot leak
+    simulated RAM. *)
+val sorted_rids :
+  Tb_sim.Sim.t -> rids:Tb_storage.Rid.t list -> count:int -> (Tb_storage.Rid.t -> unit) -> unit
+
+(** [n log n] comparisons plus write+read passes when the run exceeds
+    memory. *)
+val charge_external_sort : Tb_sim.Sim.t -> elems:int -> bytes:int -> unit
+
+(** Claim a gathered (key, payload) run and sort it by key.  Ownership of
+    the claimed bytes passes to the caller, who must
+    {!release_bytes} them (under [Fun.protect]) when the merge is done. *)
+val claim_and_sort :
+  Tb_sim.Sim.t ->
+  (Tb_storage.Rid.t * Op.payload) list ->
+  bytes:int ->
+  (Tb_storage.Rid.t * Op.payload) array
+
+val release_bytes : Tb_sim.Sim.t -> int -> unit
+
+(** Merge two key-sorted runs, charging one comparison per advance and the
+    extra disk pass when the combined runs exceed memory; [emit] receives
+    each matching (left, right) payload pair. *)
+val merge_join :
+  Tb_sim.Sim.t ->
+  bytes:int ->
+  parents:(Tb_storage.Rid.t * Op.payload) array ->
+  children:(Tb_storage.Rid.t * Op.payload) array ->
+  (Op.payload -> Op.payload -> unit) ->
+  unit
+
+(** Decode one spilled record back into (key, payload).
+    Raises [Invalid_argument] on corrupt records. *)
+val unspill_record : bytes -> Tb_storage.Rid.t * Op.payload
+
+(** [n] fresh temporary heap files for spilled partitions. *)
+val new_spill_files : Tb_store.Database.t -> int -> Tb_storage.Heap_file.t array
+
+(** Append one (key, payload) record to a spill file (charged as ordinary
+    heap-page traffic). *)
+val spill : Tb_storage.Heap_file.t -> key:Tb_storage.Rid.t -> Op.payload -> unit

@@ -245,9 +245,28 @@ let pp_access ppf = function
         | [] -> ""
         | _ -> Printf.sprintf " +%d residual" (List.length residual))
 
+let pp_aggregate ppf = function
+  | None -> ()
+  | Some a -> Format.fprintf ppf " agg:%s" (Oql_ast.agg_name a)
+
 let pp ppf = function
-  | Selection { var; cls; access; _ } ->
-      Format.fprintf ppf "select %s:%s via %a" var cls pp_access access
-  | Hier_join { algo; parent_cls; child_cls; parent_access; child_access; _ } ->
-      Format.fprintf ppf "%s(%s, %s) parent:%a child:%a" (algo_name algo)
+  | Selection { var; cls; access; aggregate; _ } ->
+      Format.fprintf ppf "select %s:%s via %a%a" var cls pp_access access
+        pp_aggregate aggregate
+  | Hier_join
+      {
+        algo;
+        parent_cls;
+        child_cls;
+        parent_access;
+        child_access;
+        partitions;
+        aggregate;
+        _;
+      } ->
+      Format.fprintf ppf "%s(%s, %s) parent:%a child:%a%s%a" (algo_name algo)
         parent_cls child_cls pp_access parent_access pp_access child_access
+        (match algo with
+        | PHHJ | CHHJ -> Printf.sprintf " partitions:%d" partitions
+        | NL | NOJOIN | PHJ | CHJ | SMJ -> "")
+        pp_aggregate aggregate

@@ -292,8 +292,218 @@ let plan ?(mode = Cost_based) ?organization ?force_algo ?force_sorted
   | Plan.B_hier _ as bound ->
       join_plan db ~mode ~organization ~force_algo ~force_sorted ~force_seq bound
 
+(* --- lowering: Plan.t -> physical operator tree --- *)
+
+(* Lowering is pure plan surgery: attribute names stay symbolic (the
+   executor resolves slots once per operator), so no database access — and
+   in particular no charge — happens here. *)
+
+let access_preds = function
+  | Plan.Seq_scan { preds; _ } -> preds
+  | Plan.Index_scan { residual; _ } -> residual
+
+let lower_access access =
+  match access with
+  | Plan.Seq_scan { cls; _ } -> Op.make (Op.Seq_scan { cls })
+  | Plan.Index_scan { index; lo; hi; sorted; _ } ->
+      let scan = Op.make (Op.Index_scan { index; lo; hi }) in
+      if sorted then Op.make (Op.Sort_rids { child = scan }) else scan
+
+(* A Fetch that binds [var] to each surviving object of [access].  The
+   covering shortcut — skip Handles entirely when the access path absorbed
+   every predicate and the query only uses the object's identity — is only
+   sound for selections; join sides always need attribute or set access. *)
+let fetch ?(covering = false) access ~cls ~var =
+  Op.make
+    (Op.Fetch
+       { child = lower_access access; cls; var; preds = access_preds access;
+         covering })
+
+let harvest side ~key ~cls ~var select =
+  let attrs, _self = Plan.needed_attrs var select in
+  Op.make (Op.Harvest { child = side; key; cls; attrs })
+
+let require_inv = function
+  | Some attr -> attr
+  | None ->
+      raise
+        (Plan.Unsupported
+           "this algorithm navigates child-to-parent but the schema declares \
+            no inverse reference")
+
+let lower plan =
+  let finish ~select ~aggregate env_op =
+    Op.make
+      (Op.Materialize
+         { child = Op.make (Op.Project { child = env_op; select }); aggregate })
+  in
+  match plan with
+  | Plan.Selection { var; cls; access; select; aggregate } ->
+      let covering =
+        match (access_preds access, Plan.needed_attrs var select) with
+        | [], ([], _) -> true
+        | _ -> false
+      in
+      finish ~select ~aggregate (fetch ~covering access ~cls ~var)
+  | Plan.Hier_join
+      {
+        algo;
+        parent_var;
+        parent_cls;
+        child_var;
+        child_cls;
+        set_attr;
+        inv_attr;
+        parent_access;
+        child_access;
+        partitions;
+        select;
+        aggregate;
+      } -> (
+      let parent_fetch () =
+        fetch parent_access ~cls:parent_cls ~var:parent_var
+      in
+      let child_fetch () = fetch child_access ~cls:child_cls ~var:child_var in
+      let parent_harvest () =
+        harvest (parent_fetch ()) ~key:Op.K_self ~cls:parent_cls
+          ~var:parent_var select
+      in
+      let child_harvest () =
+        harvest (child_fetch ())
+          ~key:(Op.K_inverse (require_inv inv_attr))
+          ~cls:child_cls ~var:child_var select
+      in
+      let partitions = max 1 partitions in
+      match algo with
+      | Plan.NL ->
+          (* NL cannot use the child index: the child side's predicates
+             are evaluated during navigation. *)
+          let child_preds =
+            match child_access with
+            | Plan.Seq_scan { preds; _ } -> preds
+            | Plan.Index_scan _ ->
+                invalid_arg "Exec: NL child access must be a scan"
+          in
+          finish ~select ~aggregate
+            (Op.make
+               (Op.Nav_set
+                  {
+                    child = parent_fetch ();
+                    set_attr;
+                    owner_cls = parent_cls;
+                    nav_var = child_var;
+                    nav_cls = child_cls;
+                    preds = child_preds;
+                  }))
+      | Plan.NOJOIN ->
+          let parent_preds =
+            match parent_access with
+            | Plan.Seq_scan { preds; _ } -> preds
+            | Plan.Index_scan _ ->
+                invalid_arg "Exec: NOJOIN parent access must be a scan"
+          in
+          finish ~select ~aggregate
+            (Op.make
+               (Op.Nav_inverse
+                  {
+                    child = child_fetch ();
+                    inv_attr = require_inv inv_attr;
+                    owner_cls = child_cls;
+                    nav_var = parent_var;
+                    nav_cls = parent_cls;
+                    preds = parent_preds;
+                  }))
+      | Plan.PHJ ->
+          finish ~select ~aggregate
+            (Op.make
+               (Op.Hash_probe
+                  {
+                    build = Op.make (Op.Hash_build { child = parent_harvest () });
+                    probe = child_fetch ();
+                    probe_key = Op.K_inverse (require_inv inv_attr);
+                    probe_cls = child_cls;
+                    build_var = parent_var;
+                    probe_var = child_var;
+                  }))
+      | Plan.CHJ ->
+          finish ~select ~aggregate
+            (Op.make
+               (Op.Hash_probe
+                  {
+                    build = Op.make (Op.Hash_build { child = child_harvest () });
+                    probe = parent_fetch ();
+                    probe_key = Op.K_self;
+                    probe_cls = parent_cls;
+                    build_var = child_var;
+                    probe_var = parent_var;
+                  }))
+      | Plan.PHHJ ->
+          finish ~select ~aggregate
+            (Op.make
+               (Op.Hash_probe
+                  {
+                    build =
+                      Op.make
+                        (Op.Hash_build
+                           {
+                             child =
+                               Op.make
+                                 (Op.Spill_partition
+                                    { child = parent_harvest (); partitions });
+                           });
+                    probe =
+                      Op.make
+                        (Op.Spill_partition
+                           { child = child_harvest (); partitions });
+                    probe_key = Op.K_inverse (require_inv inv_attr);
+                    probe_cls = child_cls;
+                    build_var = parent_var;
+                    probe_var = child_var;
+                  }))
+      | Plan.CHHJ ->
+          finish ~select ~aggregate
+            (Op.make
+               (Op.Hash_probe
+                  {
+                    build =
+                      Op.make
+                        (Op.Hash_build
+                           {
+                             child =
+                               Op.make
+                                 (Op.Spill_partition
+                                    { child = child_harvest (); partitions });
+                           });
+                    probe =
+                      Op.make
+                        (Op.Spill_partition
+                           { child = parent_harvest (); partitions });
+                    probe_key = Op.K_self;
+                    probe_cls = parent_cls;
+                    build_var = child_var;
+                    probe_var = parent_var;
+                  }))
+      | Plan.SMJ ->
+          finish ~select ~aggregate
+            (Op.make
+               (Op.Merge
+                  {
+                    left = Op.make (Op.Sort { child = parent_harvest () });
+                    right = Op.make (Op.Sort { child = child_harvest () });
+                    left_var = parent_var;
+                    right_var = child_var;
+                  })))
+
 let run ?mode ?organization ?force_algo ?force_sorted ?force_seq ?(keep = false)
     db text =
   let q = Oql_parser.parse text in
   let p = plan ?mode ?organization ?force_algo ?force_sorted ?force_seq db q in
-  Exec.run db p ~keep
+  Exec.run db (lower p) ~keep
+
+let run_explained ?mode ?organization ?force_algo ?force_sorted ?force_seq
+    ?(keep = false) db text =
+  let q = Oql_parser.parse text in
+  let p = plan ?mode ?organization ?force_algo ?force_sorted ?force_seq db q in
+  let root = lower p in
+  let result, global = Exec.run_explained db root ~keep in
+  (result, root, global)

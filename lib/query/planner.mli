@@ -36,6 +36,14 @@ val plan :
 val join_env :
   Tb_store.Database.t -> Plan.bound -> organization:Estimate.organization -> Estimate.env
 
+(** [lower plan] assembles the physical operator tree {!Exec} runs.  Pure
+    plan surgery — no database access, no charges: attribute names stay
+    symbolic and the executor resolves slots once per operator.  Raises
+    {!Plan.Unsupported} when the algorithm needs an inverse reference the
+    schema does not declare, [Invalid_argument] when NL/NOJOIN receive an
+    index access on the navigated side (the planner never builds those). *)
+val lower : Plan.t -> Op.t
+
 (** Parse, plan and execute in one call (the public "just run it" API). *)
 val run :
   ?mode:mode ->
@@ -47,3 +55,16 @@ val run :
   Tb_store.Database.t ->
   string ->
   Query_result.t
+
+(** Like {!run}, but returns the executed operator tree (frames populated)
+    and the run's global counter deltas, ready for {!Op.pp_report}. *)
+val run_explained :
+  ?mode:mode ->
+  ?organization:Estimate.organization ->
+  ?force_algo:Plan.join_algo ->
+  ?force_sorted:bool ->
+  ?force_seq:bool ->
+  ?keep:bool ->
+  Tb_store.Database.t ->
+  string ->
+  Query_result.t * Op.t * Op.totals

@@ -359,13 +359,60 @@ let set_length t v =
   iter_set t v (fun _ -> incr n);
   !n
 
-let scan_extent t ~cls f =
+(* Pull-style extent scan: the executor's Seq_scan operator advances this
+   one Rid at a time.  A page is fetched (and charged) exactly when the
+   cursor first needs a Rid from it; the per-page record walk is
+   chargeless, so the charge order is identical to the push-style
+   [scan_extent] below. *)
+type cursor = {
+  c_heap : Heap_file.t;
+  c_want : int;
+  c_pages : int;
+  mutable c_page : int;
+  mutable c_pending : Rid.t list;
+}
+
+let scan_cursor t ~cls =
   let heap = class_file t ~cls in
-  let want = Schema.class_id t.schema cls in
-  Heap_file.scan heap (fun rid body ->
-      let header, _ = Obj_header.decode body ~pos:0 in
-      if Obj_header.class_id header = want && not (Obj_header.deleted header)
-      then f rid)
+  {
+    c_heap = heap;
+    c_want = Schema.class_id t.schema cls;
+    c_pages = Heap_file.page_count heap;
+    c_page = 0;
+    c_pending = [];
+  }
+
+let rec cursor_next cur =
+  match cur.c_pending with
+  | rid :: rest ->
+      cur.c_pending <- rest;
+      Some rid
+  | [] ->
+      if cur.c_page >= cur.c_pages then None
+      else begin
+        let acc = ref [] in
+        Heap_file.iter_page_records cur.c_heap ~page:cur.c_page
+          (fun rid body ->
+            let header, _ = Obj_header.decode body ~pos:0 in
+            if
+              Obj_header.class_id header = cur.c_want
+              && not (Obj_header.deleted header)
+            then acc := rid :: !acc);
+        cur.c_page <- cur.c_page + 1;
+        cur.c_pending <- List.rev !acc;
+        cursor_next cur
+      end
+
+let scan_extent t ~cls f =
+  let cur = scan_cursor t ~cls in
+  let rec go () =
+    match cursor_next cur with
+    | Some rid ->
+        f rid;
+        go ()
+    | None -> ()
+  in
+  go ()
 
 let cardinality t ~cls =
   match Hashtbl.find_opt t.cardinalities cls with Some r -> !r | None -> 0

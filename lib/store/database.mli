@@ -119,6 +119,15 @@ val analyze : ?buckets:int -> t -> unit
     composition-clustering tax of Section 5.3. *)
 val scan_extent : t -> cls:string -> (Tb_storage.Rid.t -> unit) -> unit
 
+(** Pull-style extent scan for the executor's Seq_scan operator.  A data
+    page is fetched (and charged) exactly when the cursor first needs a
+    Rid from it, so driving a cursor to exhaustion produces the same
+    charge sequence as {!scan_extent}. *)
+type cursor
+
+val scan_cursor : t -> cls:string -> cursor
+val cursor_next : cursor -> Tb_storage.Rid.t option
+
 val cardinality : t -> cls:string -> int
 
 (** Pages of the file backing [cls] (shared files count whole). *)

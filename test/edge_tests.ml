@@ -222,13 +222,13 @@ let test_no_inverse_falls_back_to_nl () =
   (match Planner.plan ~mode:Planner.Cost_based db q with
   | Plan.Hier_join { algo = Plan.NL; inv_attr = None; _ } -> ()
   | p -> Alcotest.failf "expected NL, got %a" Plan.pp p);
-  let r = Exec.run db (Planner.plan db q) ~keep:true in
+  let r = Exec.run db (Planner.lower (Planner.plan db q)) ~keep:true in
   check_int "all pairs" 40 (Query_result.count r);
   Query_result.dispose r;
   (* Forcing a child-to-parent algorithm raises Unsupported. *)
   check_bool "forced NOJOIN rejected" true
     (match
-       Exec.run db (Planner.plan ~force_algo:Plan.NOJOIN db q) ~keep:false
+       Exec.run db (Planner.lower (Planner.plan ~force_algo:Plan.NOJOIN db q)) ~keep:false
      with
     | exception Plan.Unsupported _ -> true
     | r ->

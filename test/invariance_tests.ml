@@ -25,7 +25,7 @@ let read_lines path =
 
 let test_counters_match_golden () =
   let golden = read_lines golden_file in
-  let got = Tb_core.Fingerprint.collect ~scale:40 in
+  let got = Tb_core.Fingerprint.collect ~scale:40 () in
   Alcotest.(check int) "fingerprint line count" (List.length golden)
     (List.length got);
   List.iter2
@@ -37,8 +37,8 @@ let test_counters_match_golden () =
    fingerprints.  Any toplevel ref/table that survives a run and leaks into
    the next — a forgotten spill counter, a stale cache — shows up here. *)
 let test_back_to_back_runs_identical () =
-  let first = Tb_core.Fingerprint.collect ~scale:10 in
-  let second = Tb_core.Fingerprint.collect ~scale:10 in
+  let first = Tb_core.Fingerprint.collect ~scale:10 () in
+  let second = Tb_core.Fingerprint.collect ~scale:10 () in
   Alcotest.(check int) "fingerprint line count" (List.length first)
     (List.length second);
   List.iter2

@@ -424,7 +424,7 @@ let test_hybrid_spills_to_real_pages () =
   Database.cold_restart db;
   Tb_sim.Sim.reset sim;
   let writes_before = sim.Tb_sim.Sim.counters.Tb_sim.Counters.disk_writes in
-  let r = Exec.run db plan ~keep:false in
+  let r = Exec.run db (Planner.lower plan) ~keep:false in
   Query_result.dispose r;
   Tb_storage.Cache_stack.flush (Database.stack db);
   check_bool "spill traffic reached the disk" true

@@ -1,0 +1,62 @@
+(* Snapshot generator: prints, for every (join algorithm x access path)
+   combination plus the selection shapes, the chosen Plan.pp line and the
+   operator tree Planner.lower assembles — followed by one deterministic
+   EXPLAIN ANALYZE report.  `dune runtest` diffs the output against
+   lowering.expected; `dune promote` records intentional changes. *)
+
+open Tb_query
+module Database = Tb_store.Database
+module Generator = Tb_derby.Generator
+
+let small_built () =
+  let scale = 1000 in
+  let cfg =
+    {
+      (Generator.config ~scale `Deep Generator.Class_clustered) with
+      Generator.n_providers = 25;
+      fanout = 4;
+    }
+  in
+  Generator.build ~cost:(Tb_sim.Cost_model.scaled scale) cfg
+
+let selection = "select pa.age from pa in Patients where pa.mrn < 40"
+let identity_selection = "select pa from pa in Patients"
+let aggregate_selection = "select count(pa) from pa in Patients"
+
+let join =
+  "select [p.name, pa.age] from p in Providers, pa in p.clients where pa.mrn \
+   < 60 and p.upin < 15"
+
+let show db title ?force_algo ?force_seq ?force_sorted q =
+  let plan = Planner.plan db ?force_algo ?force_seq ?force_sorted (Oql_parser.parse q) in
+  Format.printf "=== %s@.plan: %a@.%a@." title Plan.pp plan Op.pp_tree
+    (Planner.lower plan)
+
+let () =
+  let b = small_built () in
+  let db = b.Generator.db in
+  show db "selection seq" ~force_seq:true selection;
+  show db "selection index" ~force_sorted:false selection;
+  show db "selection sorted" ~force_sorted:true selection;
+  show db "selection covering" identity_selection;
+  show db "selection aggregate" aggregate_selection;
+  List.iter
+    (fun algo ->
+      let name = Plan.algo_name algo in
+      (* NL navigates the child side and NOJOIN the parent side through
+         collections, so those sides are always sequential; every other
+         combination exercises both access paths. *)
+      show db (name ^ " seq") ~force_algo:algo ~force_seq:true join;
+      show db (name ^ " index") ~force_algo:algo ~force_sorted:false join;
+      show db (name ^ " sorted") ~force_algo:algo ~force_sorted:true join)
+    [ Plan.NL; Plan.NOJOIN; Plan.PHJ; Plan.CHJ; Plan.PHHJ; Plan.CHHJ; Plan.SMJ ];
+  (* One full EXPLAIN ANALYZE, pinned down to the simulated microsecond. *)
+  Format.printf "=== explain analyze (CHJ, aggregate)@.";
+  Database.cold_restart db;
+  let r, root, global =
+    Planner.run_explained db
+      "select count(pa) from p in Providers, pa in p.clients where p.upin < 15"
+      ~force_algo:Plan.CHJ ~keep:false
+  in
+  Query_result.dispose r;
+  Format.printf "%a" (Op.pp_report ~global) root
