@@ -16,7 +16,8 @@ let default_scale = 40
 let usage msg =
   Printf.eprintf "%s\n" msg;
   Printf.eprintf
-    "usage: main [--scale N] [--micro] [--csv FILE] [figure ...]\n\
+    "usage: main [--scale N] [--micro] [--batch N[,N...]] [--csv FILE] \
+     [figure ...]\n\
      known figures: %s\n"
     (String.concat ", " Tb_core.Figures.names);
   exit 2
@@ -24,6 +25,7 @@ let usage msg =
 let parse_args () =
   let scale = ref default_scale in
   let micro = ref false in
+  let batches = ref [] in
   let csv = ref None in
   let figures = ref [] in
   let rec go = function
@@ -38,6 +40,20 @@ let parse_args () =
     | "--micro" :: rest ->
         micro := true;
         go rest
+    | "--batch" :: v :: rest ->
+        let parsed =
+          List.map
+            (fun s ->
+              match int_of_string_opt (String.trim s) with
+              | Some n when n > 0 -> n
+              | Some _ | None ->
+                  usage
+                    (Printf.sprintf "--batch expects positive integers, got %S" v))
+            (String.split_on_char ',' v)
+        in
+        batches := !batches @ parsed;
+        go rest
+    | [ "--batch" ] -> usage "--batch requires a value, e.g. 1,64,256,1024"
     | "--csv" :: path :: rest ->
         csv := Some path;
         go rest
@@ -49,7 +65,7 @@ let parse_args () =
   in
   go (List.tl (Array.to_list Sys.argv));
   let figures = match List.rev !figures with [] -> [ "all" ] | fs -> fs in
-  (!scale, !micro, !csv, figures)
+  (!scale, !micro, !batches, !csv, figures)
 
 (* The Bechamel micro suite itself lives in {!Micro}, shared with
    bench/perf_gate.exe. *)
@@ -59,8 +75,16 @@ let run_micro () =
     (fun (name, est) -> Printf.printf "%-36s %14.1f ns/run\n" name est)
     (Micro.estimates ~quota:0.5 ())
 
+(* Wall-clock only — the parity test guarantees the batch size cannot move
+   a simulated charge. *)
+let run_batch_sweep batches =
+  Printf.printf "\n=== Batch-size sweep (fig7 full scan, wall clock) ===\n";
+  List.iter
+    (fun (name, est) -> Printf.printf "%-36s %14.1f ns/run\n" name est)
+    (Micro.batch_sweep ~quota:0.5 ~batches ())
+
 let () =
-  let scale, micro, csv, figures = parse_args () in
+  let scale, micro, batches, csv, figures = parse_args () in
   let ppf = Format.std_formatter in
   Format.fprintf ppf
     "treebench — reproducing \"Benchmarking Queries over Trees: Learning \
@@ -84,4 +108,5 @@ let () =
         "@.[stats] %d observations recorded in the Figure-3 stats database \
          (use --csv FILE to export)@."
         (Tb_statdb.Stat_store.count (Tb_core.Figures.stats ctx)));
-  if micro then run_micro ()
+  if micro then run_micro ();
+  if batches <> [] then run_batch_sweep batches

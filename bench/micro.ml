@@ -17,12 +17,12 @@ let built =
      in
      Tb_derby.Generator.build ~cost:(Tb_sim.Cost_model.scaled 500) cfg)
 
-let run_query ?force_algo ?force_seq ?force_sorted q () =
+let run_query ?force_algo ?force_seq ?force_sorted ?packed ?batch q () =
   let b = Lazy.force built in
   Tb_store.Database.cold_restart b.Tb_derby.Generator.db;
   let r =
     Tb_query.Planner.run b.Tb_derby.Generator.db q ?force_algo ?force_seq
-      ?force_sorted ~keep:false
+      ?force_sorted ?packed ?batch ~keep:false
   in
   let n = Tb_query.Query_result.count r in
   Tb_query.Query_result.dispose r;
@@ -55,6 +55,38 @@ let tests () =
     t "fig7.sorted_index_scan" (fun () ->
         run_query ~force_sorted:true (Lazy.force sel_q) ());
     t "fig7.full_scan" (fun () -> run_query ~force_seq:true (Lazy.force sel_q) ());
+    (* The packed engine floor under fig7: the same selection evaluated
+       directly on record bytes — acquire, pin, seek, compare — without
+       the planner/materialize shell around it. *)
+    t "fig7.packed_scan" (fun () ->
+        let b = Lazy.force built in
+        let db = b.Tb_derby.Generator.db in
+        Tb_store.Database.cold_restart db;
+        let nc = Array.length b.Tb_derby.Generator.patients in
+        let prog =
+          Tb_query.Packed.compile db ~cls:Tb_derby.Derby.patient_cls
+            ~preds:
+              [
+                {
+                  Tb_query.Plan.attr = "num";
+                  cmp = Tb_query.Oql_ast.Lt;
+                  const = Tb_store.Value.Int (nc / 2);
+                };
+              ]
+            ()
+        in
+        let n = ref 0 in
+        Array.iter
+          (fun rid ->
+            let h = Tb_store.Database.acquire db rid in
+            (match Tb_store.Database.packed_body db h with
+            | Some (buf, pos) ->
+                Tb_query.Packed.seek_all prog buf ~pos;
+                if Tb_query.Packed.eval_preds db prog buf then incr n
+            | None -> ());
+            Tb_store.Database.unref db h)
+          b.Tb_derby.Generator.patients;
+        !n);
     (* Figures 11-14: one test per join algorithm. *)
     t "fig11_14.nl" (fun () ->
         run_query ~force_algo:Tb_query.Plan.NL (Lazy.force join_q) ());
@@ -92,6 +124,21 @@ let tests () =
         Array.iter
           (fun rid ->
             let h = Tb_store.Database.acquire db rid in
+            Tb_store.Database.unref db h)
+          b.Tb_derby.Generator.patients);
+    (* The same churn with one attribute read per Handle: the packed repr
+       decodes it straight off the pinned page instead of materializing
+       the record. *)
+    t "fig9.packed_churn" (fun () ->
+        let b = Lazy.force built in
+        let db = b.Tb_derby.Generator.db in
+        let slot =
+          Tb_store.Database.attr_slot db ~cls:Tb_derby.Derby.patient_cls "mrn"
+        in
+        Array.iter
+          (fun rid ->
+            let h = Tb_store.Database.acquire db rid in
+            ignore (Tb_store.Database.get_att_slot db h slot);
             Tb_store.Database.unref db h)
           b.Tb_derby.Generator.patients);
     (* Section 3.2: B+-tree build, the first-index path. *)
@@ -164,10 +211,10 @@ let strip_group name =
   | Some i -> String.sub name (i + 1) (String.length name - i - 1)
   | None -> name
 
-(* Run the whole suite and return [(name, ns_per_run)], sorted by name. *)
-let estimates ~quota () =
+(* Run a test list and return [(name, ns_per_run)], sorted by name. *)
+let estimates_of ~quota tests =
   let open Bechamel in
-  let grouped = Test.make_grouped ~name:"treebench" (tests ()) in
+  let grouped = Test.make_grouped ~name:"treebench" tests in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second quota) () in
   let raw = Benchmark.all cfg instances grouped in
@@ -187,3 +234,22 @@ let estimates ~quota () =
         tbl)
     merged;
   List.sort (fun (a, _) (b, _) -> String.compare a b) !rows
+
+let estimates ~quota () = estimates_of ~quota (tests ())
+
+(* Batch-size sweep over the fig7 full scan: how much interpreter dispatch
+   the row vectors amortize.  Charge-invariant by construction (the parity
+   test pins that), so this is wall-clock tuning data only — deliberately
+   not part of [tests ()], the perf_gate baseline tracks the default. *)
+let batch_sweep ~quota ~batches () =
+  let open Bechamel in
+  let tests =
+    List.map
+      (fun batch ->
+        Test.make
+          ~name:(Printf.sprintf "fig7.full_scan.b%d" batch)
+          (Staged.stage (fun () ->
+               run_query ~force_seq:true ~batch (Lazy.force sel_q) ())))
+      batches
+  in
+  estimates_of ~quota tests

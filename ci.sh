@@ -14,7 +14,9 @@ dune build @all
 dune build @lint
 # runtest also diffs the plan-lowering / explain snapshots in test/snapshot/
 # against their committed expectations; after an intentional plan or
-# operator change, run `dune promote` and commit the updated .expected.
+# operator change — including anything that flips a fetch/harvest between
+# mode=packed and mode=handle or changes the batch size shown in its
+# label — run `dune promote` and commit the updated .expected.
 dune runtest
 # Exhaustive crash-recovery fuzz: crash at every durable write of the
 # fixed-seed workload (the default runtest pass strides the same sweep).

@@ -16,6 +16,7 @@
 
 module Value = Tb_store.Value
 module Database = Tb_store.Database
+module Handle = Tb_store.Handle
 module Heap_file = Tb_storage.Heap_file
 module Rid = Tb_storage.Rid
 module Counters = Tb_sim.Counters
@@ -73,35 +74,138 @@ let rec iter_rids st node emit =
           Op.Acct.enter st.acct fr)
   | _ -> invalid_arg "Exec: operator does not produce Rids"
 
+(* --- batched Rid streams ---
+
+   The vector-at-a-time feed for Fetch: Rids arrive in chunks of at most
+   [batch], and the producer's frame is re-entered once per chunk instead
+   of once per row.  Chunks never straddle a page boundary (Seq_scan feeds
+   page by page via [Database.cursor_next_page]), so interleaving the
+   consumer's per-row page accesses with the producer's page fetches keeps
+   the exact charge order of the row-at-a-time stream — batching is
+   charge-order-preserving by construction and needs no planner
+   eligibility rules. *)
+
+(* Emit [rids] in [batch]-sized chunks, bumping rows_out per chunk. *)
+and emit_rid_chunks st fr ~batch rids emit =
+  match rids with
+  | [] -> ()
+  | _ ->
+      let rec split n acc rest =
+        match rest with
+        | _ when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | rid :: tl -> split (n - 1) (rid :: acc) tl
+      in
+      let chunk, rest = split batch [] rids in
+      fr.Op.rows_out <- fr.Op.rows_out + List.length chunk;
+      emit chunk;
+      Op.Acct.enter st.acct fr;
+      emit_rid_chunks st fr ~batch rest emit
+
+and iter_rid_batches st ~batch node emit =
+  let fr = node.Op.frame in
+  match node.Op.kind with
+  | Op.Seq_scan { cls } ->
+      Op.Acct.enter st.acct fr;
+      let cur = Database.scan_cursor st.db ~cls in
+      let rec go () =
+        match Database.cursor_next_page cur with
+        | Some rids ->
+            emit_rid_chunks st fr ~batch rids emit;
+            go ()
+        | None -> ()
+      in
+      go ()
+  | Op.Index_scan { index; lo; hi } ->
+      (* Index entries surface one at a time; singleton chunks keep the
+         per-row tree-page fetches interleaved exactly as before. *)
+      Op.Acct.enter st.acct fr;
+      Tb_store.Btree.range index.Tb_store.Index_def.tree ?lo ?hi (fun _ rid ->
+          fr.Op.rows_out <- fr.Op.rows_out + 1;
+          emit [ rid ];
+          Op.Acct.enter st.acct fr)
+  | Op.Sort_rids { child } ->
+      let rids = ref [] in
+      let n = ref 0 in
+      iter_rids st child (fun rid ->
+          rids := rid :: !rids;
+          incr n);
+      Op.Acct.enter st.acct fr;
+      fr.Op.rows_in <- !n;
+      fr.Op.bytes <- !n * Rid.on_disk_bytes;
+      (* Chunk emission happens inside the claim window, so the buffer
+         release still follows the last emitted row as it always did. *)
+      Operators.with_sorted_rids (Database.sim st.db) ~rids:!rids ~count:!n
+        (fun arr ->
+          let len = Array.length arr in
+          let i = ref 0 in
+          while !i < len do
+            let stop = min len (!i + batch) in
+            let chunk = ref [] in
+            for j = stop - 1 downto !i do
+              chunk := arr.(j) :: !chunk
+            done;
+            fr.Op.rows_out <- fr.Op.rows_out + (stop - !i);
+            emit !chunk;
+            Op.Acct.enter st.acct fr;
+            i := stop
+          done)
+  | _ -> invalid_arg "Exec: operator does not produce Rids"
+
 (* --- binding streams: (var, source) environments --- *)
 
 and iter_envs st node emit =
   let db = st.db in
   let fr = node.Op.frame in
   match node.Op.kind with
-  | Op.Fetch { child; cls; var; preds; covering } ->
+  | Op.Fetch { child; cls; var; preds; covering; mode; batch } ->
       if covering then
         (* Identity-only projection with no residual predicates: no
            Handle traffic at all (Section 5's remark that navigation need
            not read patients when returning objects). *)
-        iter_rids st child (fun rid ->
-            Op.Acct.enter st.acct fr;
-            fr.Op.rows_in <- fr.Op.rows_in + 1;
-            fr.Op.rows_out <- fr.Op.rows_out + 1;
-            emit [ (var, Op.Stored { Op.self = rid; attrs = [] }) ];
-            Op.Acct.enter st.acct fr)
+        iter_rid_batches st ~batch child (fun rids ->
+            List.iter
+              (fun rid ->
+                Op.Acct.enter st.acct fr;
+                fr.Op.rows_in <- fr.Op.rows_in + 1;
+                fr.Op.rows_out <- fr.Op.rows_out + 1;
+                emit [ (var, Op.Stored { Op.self = rid; attrs = [] }) ];
+                Op.Acct.enter st.acct fr)
+              rids)
       else begin
-        let cpreds = Operators.compile_preds db ~cls preds in
-        iter_rids st child (fun rid ->
-            Op.Acct.enter st.acct fr;
-            fr.Op.rows_in <- fr.Op.rows_in + 1;
-            let h = Database.acquire db rid in
-            if Operators.eval_preds db h cpreds then begin
-              fr.Op.rows_out <- fr.Op.rows_out + 1;
-              emit [ (var, Op.Live h) ];
-              Op.Acct.enter st.acct fr
-            end;
-            Database.unref db h)
+        (* Emission stays inline per row in both modes: deferring it past
+           the batch would reorder Handle releases against downstream
+           claims and move the simulated memory peak. *)
+        let eval =
+          match mode with
+          | Op.Handle ->
+              let cpreds = Operators.compile_preds db ~cls preds in
+              fun h -> Operators.eval_preds db h cpreds
+          | Op.Packed ->
+              let prog = Packed.compile db ~cls ~preds () in
+              (* A resident handle materialized by an update has no packed
+                 body; those rows take the Handle kernel (same charges). *)
+              let cpreds = lazy (Operators.compile_preds db ~cls preds) in
+              fun h -> (
+                match Database.packed_body db h with
+                | Some (buf, pos) ->
+                    Packed.seek_all prog buf ~pos;
+                    Packed.eval_preds db prog buf
+                | None -> Operators.eval_preds db h (Lazy.force cpreds))
+        in
+        iter_rid_batches st ~batch child (fun rids ->
+            List.iter
+              (fun rid ->
+                Op.Acct.enter st.acct fr;
+                fr.Op.rows_in <- fr.Op.rows_in + 1;
+                let h = Database.acquire db rid in
+                if eval h then begin
+                  fr.Op.rows_out <- fr.Op.rows_out + 1;
+                  emit [ (var, Op.Live h) ];
+                  Op.Acct.enter st.acct fr
+                end;
+                Database.unref db h)
+              rids)
       end
   | Op.Nav_set { child; set_attr; owner_cls; nav_var; nav_cls; preds } ->
       let set_slot = Database.attr_slot db ~cls:owner_cls set_attr in
@@ -154,7 +258,7 @@ and iter_envs st node emit =
 and iter_kvs st node emit =
   let fr = node.Op.frame in
   match node.Op.kind with
-  | Op.Harvest { child; key; cls; attrs } ->
+  | Op.Harvest { child; key; cls; attrs; mode = Op.Handle } ->
       let slots = Operators.compile_attrs st.db ~cls attrs in
       let keyf = Operators.compile_key st.db ~cls key in
       iter_envs st child (fun env ->
@@ -168,6 +272,36 @@ and iter_kvs st node emit =
               emit (k, payload);
               Op.Acct.enter st.acct fr
           | None -> ())
+  | Op.Harvest { child; key; cls; attrs; mode = Op.Packed } ->
+      let prog = Packed.compile st.db ~cls ~key ~attrs () in
+      let slots = lazy (Operators.compile_attrs st.db ~cls attrs) in
+      let keyf = lazy (Operators.compile_key st.db ~cls key) in
+      iter_envs st child (fun env ->
+          Op.Acct.enter st.acct fr;
+          fr.Op.rows_in <- fr.Op.rows_in + 1;
+          let h = live_of_env env in
+          let self = h.Handle.rid in
+          match Database.packed_body st.db h with
+          | Some (buf, pos) -> (
+              Packed.seek_all prog buf ~pos;
+              match Packed.eval_key st.db prog buf ~self with
+              | Some k ->
+                  let payload = Packed.make_payload st.db prog buf ~self in
+                  fr.Op.rows_out <- fr.Op.rows_out + 1;
+                  emit (k, payload);
+                  Op.Acct.enter st.acct fr
+              | None -> ())
+          | None -> (
+              (* Materialized resident: Handle kernel, identical charges. *)
+              match (Lazy.force keyf) h with
+              | Some k ->
+                  let payload =
+                    Operators.make_payload st.db h ~slots:(Lazy.force slots)
+                  in
+                  fr.Op.rows_out <- fr.Op.rows_out + 1;
+                  emit (k, payload);
+                  Op.Acct.enter st.acct fr
+              | None -> ()))
   | _ -> invalid_arg "Exec: operator does not produce key/value pairs"
 
 (* --- hash joins --- *)
@@ -238,7 +372,7 @@ and run_hybrid st fr ~build ~probe ~build_var ~probe_var emit =
   let ph_fr = pharv_node.Op.frame in
   let probe_fetch, pkey, pcls, pattrs =
     match pharv_node.Op.kind with
-    | Op.Harvest { child; key; cls; attrs } -> (child, key, cls, attrs)
+    | Op.Harvest { child; key; cls; attrs; _ } -> (child, key, cls, attrs)
     | _ -> invalid_arg "Exec: hybrid probe side must harvest"
   in
   let bucket key = Rid.hash key mod partitions in

@@ -15,6 +15,13 @@ and payload = { self : Rid.t; attrs : (string * Value.t) list }
    own identity (parents) or the inverse reference it stores (children). *)
 type key_spec = K_self | K_inverse of string
 
+(* How Fetch/Harvest evaluate their per-row work: [Packed] runs the
+   offset program of {!Packed} straight on the record's page bytes,
+   [Handle] decodes attributes through {!Database.get_att_slot}.  Charges
+   are identical either way; the planner picks [Packed] whenever the
+   predicates are packed-compilable. *)
+type mode = Packed | Handle
+
 (* Per-operator instrumentation.  Counters are attributed by reading the
    global Tb_sim deltas between frame switches (see {!Acct}); the frame
    itself never charges anything, so execution stays bit-identical whether
@@ -46,6 +53,8 @@ type kind =
       covering : bool;
           (** no residual predicates and only the identity is needed: skip
               Handles entirely (the covering-index shortcut) *)
+      mode : mode;
+      batch : int;  (** rows per vector pulled from the rid stream *)
     }
   | Nav_set of {
       child : t;
@@ -63,8 +72,13 @@ type kind =
       nav_cls : string;
       preds : Plan.attr_pred list;
     }  (** child-to-parent navigation through the inverse (NOJOIN) *)
-  | Harvest of { child : t; key : key_spec; cls : string; attrs : string list }
-      (** slot-compiled (key, payload) extraction from live Handles *)
+  | Harvest of {
+      child : t;
+      key : key_spec;
+      cls : string;
+      attrs : string list;
+      mode : mode;
+    }  (** slot-compiled (key, payload) extraction from live Handles *)
   | Hash_build of { child : t }
   | Spill_partition of { child : t; partitions : int }
       (** hybrid hashing: bucket 0 flows through, buckets 1.. spill to
@@ -161,6 +175,7 @@ let key_name = function
   | K_inverse attr -> "inverse." ^ attr
 
 let pred_count = function [] -> "" | ps -> Printf.sprintf "[%d preds]" (List.length ps)
+let mode_name = function Packed -> "packed" | Handle -> "handle"
 
 let label node =
   match node.kind with
@@ -170,18 +185,21 @@ let label node =
         (match lo with Some k -> string_of_int k | None -> "-inf")
         (match hi with Some k -> string_of_int k | None -> "+inf")
   | Sort_rids _ -> "sort_rids"
-  | Fetch { cls; var; preds; covering; _ } ->
-      Printf.sprintf "fetch(%s:%s)%s%s" var cls (pred_count preds)
-        (if covering then " covering" else "")
+  | Fetch { cls; var; preds; covering; mode; batch; _ } ->
+      if covering then
+        Printf.sprintf "fetch(%s:%s)%s covering" var cls (pred_count preds)
+      else
+        Printf.sprintf "fetch(%s:%s)%s mode=%s b=%d" var cls (pred_count preds)
+          (mode_name mode) batch
   | Nav_set { set_attr; nav_var; nav_cls; preds; _ } ->
       Printf.sprintf "nav_set(.%s -> %s:%s)%s" set_attr nav_var nav_cls
         (pred_count preds)
   | Nav_inverse { inv_attr; nav_var; nav_cls; preds; _ } ->
       Printf.sprintf "nav_inverse(.%s -> %s:%s)%s" inv_attr nav_var nav_cls
         (pred_count preds)
-  | Harvest { key; attrs; _ } ->
-      Printf.sprintf "harvest(key=%s; attrs=[%s])" (key_name key)
-        (String.concat "," attrs)
+  | Harvest { key; attrs; mode; _ } ->
+      Printf.sprintf "harvest(key=%s; attrs=[%s]) mode=%s" (key_name key)
+        (String.concat "," attrs) (mode_name mode)
   | Hash_build _ -> "hash_build"
   | Spill_partition { partitions; _ } ->
       Printf.sprintf "spill_partition(%d)" partitions

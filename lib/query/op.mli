@@ -26,6 +26,13 @@ type key_spec =
   | K_self  (** the object's own Rid (parents) *)
   | K_inverse of string  (** the inverse reference attribute (children) *)
 
+(** How Fetch/Harvest evaluate their per-row work.  Charges are identical
+    either way; the planner picks [Packed] whenever the predicates are
+    packed-compilable ({!Packed.compilable}). *)
+type mode =
+  | Packed  (** offset program straight on the record's page bytes *)
+  | Handle  (** attribute decode through {!Tb_store.Database.get_att_slot} *)
+
 (** Per-operator instrumentation, mutated by the executor only. *)
 type frame = {
   mutable rows_in : int;
@@ -55,6 +62,8 @@ type kind =
       var : string;
       preds : Plan.attr_pred list;
       covering : bool;
+      mode : mode;
+      batch : int;
     }
   | Nav_set of {
       child : t;
@@ -72,7 +81,13 @@ type kind =
       nav_cls : string;
       preds : Plan.attr_pred list;
     }
-  | Harvest of { child : t; key : key_spec; cls : string; attrs : string list }
+  | Harvest of {
+      child : t;
+      key : key_spec;
+      cls : string;
+      attrs : string list;
+      mode : mode;
+    }
   | Hash_build of { child : t }
   | Spill_partition of { child : t; partitions : int }
   | Hash_probe of {

@@ -83,7 +83,7 @@ let compile_key db ~cls = function
    become (at worst) one sequential sweep, and streamed out.  The buffer's
    simulated memory is released even when a downstream operator raises —
    a failed query must not leak claimed RAM. *)
-let sorted_rids sim ~rids ~count f =
+let with_sorted_rids sim ~rids ~count f =
   let claim = count * Rid.on_disk_bytes in
   Sim.claim_bytes sim claim;
   Fun.protect
@@ -92,7 +92,10 @@ let sorted_rids sim ~rids ~count f =
       Sim.charge_sort sim count;
       let arr = Array.of_list rids in
       Array.sort Rid.compare arr;
-      Array.iter f arr)
+      f arr)
+
+let sorted_rids sim ~rids ~count f =
+  with_sorted_rids sim ~rids ~count (fun arr -> Array.iter f arr)
 
 (* External-sort accounting: [n log n] comparisons, plus write+read passes
    when the run does not fit in memory. *)

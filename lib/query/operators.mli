@@ -52,10 +52,20 @@ val compile_key :
   Tb_store.Handle.t ->
   Tb_storage.Rid.t option
 
-(** [sorted_rids sim ~rids ~count f] claims the Rid buffer, charges the
-    sort, streams the Rids to [f] in Rid order and releases the claim —
-    also when [f] raises ([Fun.protect]), so a failed query cannot leak
-    simulated RAM. *)
+(** [with_sorted_rids sim ~rids ~count f] claims the Rid buffer, charges
+    the sort, hands [f] the sorted array inside the claim window and
+    releases the claim — also when [f] raises ([Fun.protect]), so a failed
+    query cannot leak simulated RAM.  The vectorized executor chunks its
+    emission from within [f]. *)
+val with_sorted_rids :
+  Tb_sim.Sim.t ->
+  rids:Tb_storage.Rid.t list ->
+  count:int ->
+  (Tb_storage.Rid.t array -> unit) ->
+  unit
+
+(** [sorted_rids sim ~rids ~count f] is {!with_sorted_rids} streaming one
+    Rid at a time. *)
 val sorted_rids :
   Tb_sim.Sim.t -> rids:Tb_storage.Rid.t list -> count:int -> (Tb_storage.Rid.t -> unit) -> unit
 

@@ -309,20 +309,6 @@ let lower_access access =
       let scan = Op.make (Op.Index_scan { index; lo; hi }) in
       if sorted then Op.make (Op.Sort_rids { child = scan }) else scan
 
-(* A Fetch that binds [var] to each surviving object of [access].  The
-   covering shortcut — skip Handles entirely when the access path absorbed
-   every predicate and the query only uses the object's identity — is only
-   sound for selections; join sides always need attribute or set access. *)
-let fetch ?(covering = false) access ~cls ~var =
-  Op.make
-    (Op.Fetch
-       { child = lower_access access; cls; var; preds = access_preds access;
-         covering })
-
-let harvest side ~key ~cls ~var select =
-  let attrs, _self = Plan.needed_attrs var select in
-  Op.make (Op.Harvest { child = side; key; cls; attrs })
-
 let require_inv = function
   | Some attr -> attr
   | None ->
@@ -331,11 +317,33 @@ let require_inv = function
            "this algorithm navigates child-to-parent but the schema declares \
             no inverse reference")
 
-let lower plan =
+let lower ?(packed = true) ?(batch = 256) plan =
   let finish ~select ~aggregate env_op =
     Op.make
       (Op.Materialize
          { child = Op.make (Op.Project { child = env_op; select }); aggregate })
+  in
+  (* A Fetch that binds [var] to each surviving object of [access].  The
+     covering shortcut — skip Handles entirely when the access path
+     absorbed every predicate and the query only uses the object's
+     identity — is only sound for selections; join sides always need
+     attribute or set access.  The packed mode is chosen from the residual
+     predicates alone ({!Packed.compilable}), keeping lowering pure. *)
+  let fetch ?(covering = false) access ~cls ~var =
+    let preds = access_preds access in
+    let mode =
+      if packed && Packed.compilable preds then Op.Packed else Op.Handle
+    in
+    Op.make
+      (Op.Fetch { child = lower_access access; cls; var; preds; covering; mode; batch })
+  in
+  (* Keys and payload prefixes are always packed-compilable; [~mode] is
+     forced to Handle for hybrid probe-side harvests, which the hybrid
+     driver evaluates through the Handle kernels. *)
+  let harvest ?(mode = if packed then Op.Packed else Op.Handle) side ~key ~cls
+      ~var select =
+    let attrs, _self = Plan.needed_attrs var select in
+    Op.make (Op.Harvest { child = side; key; cls; attrs; mode })
   in
   match plan with
   | Plan.Selection { var; cls; access; select; aggregate } ->
@@ -364,12 +372,13 @@ let lower plan =
         fetch parent_access ~cls:parent_cls ~var:parent_var
       in
       let child_fetch () = fetch child_access ~cls:child_cls ~var:child_var in
-      let parent_harvest () =
-        harvest (parent_fetch ()) ~key:Op.K_self ~cls:parent_cls
+      let parent_harvest ?mode () =
+        harvest ?mode (parent_fetch ()) ~key:Op.K_self ~cls:parent_cls
           ~var:parent_var select
       in
-      let child_harvest () =
-        harvest (child_fetch ())
+      let child_harvest ?mode () =
+        harvest ?mode
+          (child_fetch ())
           ~key:(Op.K_inverse (require_inv inv_attr))
           ~cls:child_cls ~var:child_var select
       in
@@ -454,7 +463,7 @@ let lower plan =
                     probe =
                       Op.make
                         (Op.Spill_partition
-                           { child = child_harvest (); partitions });
+                           { child = child_harvest ~mode:Op.Handle (); partitions });
                     probe_key = Op.K_inverse (require_inv inv_attr);
                     probe_cls = child_cls;
                     build_var = parent_var;
@@ -477,7 +486,7 @@ let lower plan =
                     probe =
                       Op.make
                         (Op.Spill_partition
-                           { child = parent_harvest (); partitions });
+                           { child = parent_harvest ~mode:Op.Handle (); partitions });
                     probe_key = Op.K_self;
                     probe_cls = parent_cls;
                     build_var = child_var;
@@ -494,16 +503,16 @@ let lower plan =
                     right_var = child_var;
                   })))
 
-let run ?mode ?organization ?force_algo ?force_sorted ?force_seq ?(keep = false)
-    db text =
-  let q = Oql_parser.parse text in
-  let p = plan ?mode ?organization ?force_algo ?force_sorted ?force_seq db q in
-  Exec.run db (lower p) ~keep
-
-let run_explained ?mode ?organization ?force_algo ?force_sorted ?force_seq
+let run ?mode ?organization ?force_algo ?force_sorted ?force_seq ?packed ?batch
     ?(keep = false) db text =
   let q = Oql_parser.parse text in
   let p = plan ?mode ?organization ?force_algo ?force_sorted ?force_seq db q in
-  let root = lower p in
+  Exec.run db (lower ?packed ?batch p) ~keep
+
+let run_explained ?mode ?organization ?force_algo ?force_sorted ?force_seq
+    ?packed ?batch ?(keep = false) db text =
+  let q = Oql_parser.parse text in
+  let p = plan ?mode ?organization ?force_algo ?force_sorted ?force_seq db q in
+  let root = lower ?packed ?batch p in
   let result, global = Exec.run_explained db root ~keep in
   (result, root, global)

@@ -38,11 +38,21 @@ val join_env :
 
 (** [lower plan] assembles the physical operator tree {!Exec} runs.  Pure
     plan surgery — no database access, no charges: attribute names stay
-    symbolic and the executor resolves slots once per operator.  Raises
-    {!Plan.Unsupported} when the algorithm needs an inverse reference the
-    schema does not declare, [Invalid_argument] when NL/NOJOIN receive an
-    index access on the navigated side (the planner never builds those). *)
-val lower : Plan.t -> Op.t
+    symbolic and the executor resolves slots once per operator.
+
+    [packed] (default true) lets Fetch/Harvest evaluate on raw record
+    bytes whenever the predicates are packed-compilable
+    ({!Packed.compilable} — decided from the predicate constants alone, so
+    lowering stays pure); non-compilable predicates fall back to the
+    Handle path, visible as [mode=handle] in the lowered tree.  [batch]
+    (default 256) sets the rows-per-vector of the Rid streams feeding
+    Fetch.  Neither knob moves a single simulated charge.
+
+    Raises {!Plan.Unsupported} when the algorithm needs an inverse
+    reference the schema does not declare, [Invalid_argument] when
+    NL/NOJOIN receive an index access on the navigated side (the planner
+    never builds those). *)
+val lower : ?packed:bool -> ?batch:int -> Plan.t -> Op.t
 
 (** Parse, plan and execute in one call (the public "just run it" API). *)
 val run :
@@ -51,6 +61,8 @@ val run :
   ?force_algo:Plan.join_algo ->
   ?force_sorted:bool ->
   ?force_seq:bool ->
+  ?packed:bool ->
+  ?batch:int ->
   ?keep:bool ->
   Tb_store.Database.t ->
   string ->
@@ -64,6 +76,8 @@ val run_explained :
   ?force_algo:Plan.join_algo ->
   ?force_sorted:bool ->
   ?force_seq:bool ->
+  ?packed:bool ->
+  ?batch:int ->
   ?keep:bool ->
   Tb_store.Database.t ->
   string ->

@@ -119,6 +119,41 @@ let read t rid =
     body_of framed'
   else body_of framed
 
+(* Zero-copy read path: resolve a Rid to the page object holding its body
+   plus the body's span inside that page's buffer, following at most one
+   forwarding hop.  The charge sequence (one fetch per page touched) is
+   identical to [read]; the difference is purely host-side — no Bytes.sub.
+   Returns [(page, slot, pos, len)] where [slot] is the physical slot on
+   [page] whose record contains the body (it differs from [rid.slot] when
+   the record was relocated), so callers can re-derive the span after the
+   page compacts under them. *)
+let locate t (rid : Rid.t) =
+  let pid = Page_id.make ~file:rid.Rid.file ~index:rid.Rid.page in
+  let page = Cache_stack.fetch t.stack pid in
+  let off, len = Page_layout.record_span page rid.Rid.slot in
+  let buf = Page_layout.buffer page in
+  match Bytes.get buf off with
+  | c when c = tag_normal -> (page, rid.Rid.slot, off + 1, len - 1)
+  | c when c = tag_forward ->
+      let target = Rid.decode buf ~pos:(off + 1) in
+      let tpid = Page_id.make ~file:target.Rid.file ~index:target.Rid.page in
+      let tpage = Cache_stack.fetch t.stack tpid in
+      let toff, tlen = Page_layout.record_span tpage target.Rid.slot in
+      if Bytes.get (Page_layout.buffer tpage) toff <> tag_relocated then
+        invalid_arg "Heap_file.locate: stub does not point at a relocated body";
+      let hop = 1 + Rid.on_disk_bytes in
+      (tpage, target.Rid.slot, toff + hop, tlen - hop)
+  | c when c = tag_relocated ->
+      let hop = 1 + Rid.on_disk_bytes in
+      (page, rid.Rid.slot, off + hop, len - hop)
+  | _ -> invalid_arg "Heap_file.locate: bad record tag"
+
+(* The page stays pinned (a live OCaml reference) for the duration of [f];
+   [f] must not mutate the page or trigger record movement on it. *)
+let with_record_bytes t rid ~f =
+  let page, _, pos, len = locate t rid in
+  f (Page_layout.buffer page) ~pos ~len
+
 let write_for t (rid : Rid.t) =
   let pid = Page_id.make ~file:rid.Rid.file ~index:rid.Rid.page in
   Cache_stack.fetch_for_write t.stack pid
@@ -166,6 +201,21 @@ let iter_page_records t ~page:index f =
           f (Rid.make ~file:t.file ~page:index ~slot) (body_of framed)
       | c when c = tag_relocated -> f (Rid.decode framed ~pos:1) (body_of framed)
       | _ -> () (* stubs: their body is visited at its new location *))
+
+(* Zero-copy page walk: [f rid buf pos len] sees each live body in place
+   (same visiting order and Rid presentation as [iter_page_records]). *)
+let iter_page_spans t ~page:index f =
+  let pid = Page_id.make ~file:t.file ~index in
+  let page = Cache_stack.fetch t.stack pid in
+  let buf = Page_layout.buffer page in
+  Page_layout.iter_spans page (fun slot off len ->
+      match Bytes.get buf off with
+      | c when c = tag_normal ->
+          f (Rid.make ~file:t.file ~page:index ~slot) buf (off + 1) (len - 1)
+      | c when c = tag_relocated ->
+          let hop = 1 + Rid.on_disk_bytes in
+          f (Rid.decode buf ~pos:(off + 1)) buf (off + hop) (len - hop)
+      | _ -> ())
 
 let scan t f =
   for index = 0 to page_count t - 1 do

@@ -38,6 +38,22 @@ val insert : t -> bytes -> Rid.t
     hop. Raises [Not_found] on a dead Rid. *)
 val read : t -> Rid.t -> bytes
 
+(** [locate t rid] resolves [rid] to [(page, slot, pos, len)]: the page
+    object holding the record's body, the physical slot on that page (it
+    differs from [rid.slot] for relocated bodies), and the body's span in
+    the page buffer — following at most one forwarding hop.  Charges are
+    identical to {!read} (one cache fetch per page touched); no copy is
+    made.  The span is valid until the page next compacts; use [slot] with
+    {!Page_layout.record_span} to re-derive it. Raises [Not_found] on a
+    dead Rid. *)
+val locate : t -> Rid.t -> Page_layout.t * int * int * int
+
+(** [with_record_bytes t rid ~f] runs [f buf ~pos ~len] on the record's
+    body in place, with the page pinned for the duration of [f].  [f] must
+    not mutate the buffer or move records on the page. *)
+val with_record_bytes :
+  t -> Rid.t -> f:(bytes -> pos:int -> len:int -> 'a) -> 'a
+
 (** [update t rid body] rewrites the record; relocates and leaves a
     forwarding stub when the body no longer fits near its page. *)
 val update : t -> Rid.t -> bytes -> unit
@@ -51,6 +67,13 @@ val scan : t -> (Rid.t -> bytes -> unit) -> unit
 
 (** [iter_page_records t ~page f] visits the live records of one page. *)
 val iter_page_records : t -> page:int -> (Rid.t -> bytes -> unit) -> unit
+
+(** [iter_page_spans t ~page f] visits the live records of one page without
+    copying: [f rid buf pos len] sees each body in place in the page
+    buffer.  Same visiting order and Rid presentation as
+    {!iter_page_records}; [f] must not mutate the buffer. *)
+val iter_page_spans :
+  t -> page:int -> (Rid.t -> bytes -> int -> int -> unit) -> unit
 
 val cache : t -> Cache_stack.t
 

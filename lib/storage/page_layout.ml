@@ -221,6 +221,12 @@ let iter t f =
     if slot_offset t slot <> 0 then f slot (read t slot)
   done
 
+let iter_spans t f =
+  for slot = 0 to slot_count t - 1 do
+    let off = slot_offset t slot in
+    if off <> 0 then f slot off (slot_length t slot)
+  done
+
 let check_invariants t =
   let n = slot_count t in
   let fo = free_off t in

@@ -106,6 +106,11 @@ val update : t -> int -> bytes -> bool
 (** [iter t f] applies [f slot body] to every live record in slot order. *)
 val iter : t -> (int -> bytes -> unit) -> unit
 
+(** [iter_spans t f] applies [f slot offset length] to every live record in
+    slot order, without copying bodies; spans index into [buffer].  [f] must
+    not mutate the page. *)
+val iter_spans : t -> (int -> int -> int -> unit) -> unit
+
 (** Internal-consistency check for tests: directory within bounds, no record
     overlap, free space arithmetic coherent. Raises [Failure] on violation. *)
 val check_invariants : t -> unit

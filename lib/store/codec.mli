@@ -22,3 +22,21 @@ val skip : bytes -> pos:int -> int
 
 (** [decode_exn b] decodes a whole buffer holding exactly one value. *)
 val decode_exn : bytes -> Value.t
+
+(** {2 Wire tags}
+
+    The one-byte type tag that opens every encoded value, exported so the
+    packed execution path ({!Tb_query.Packed}) can compare encoded values
+    in place without decoding them. *)
+
+val tag_nil : int
+val tag_int : int
+val tag_real : int
+val tag_bool : int
+val tag_char : int
+val tag_string : int
+val tag_ref : int
+val tag_tuple : int
+val tag_set : int
+val tag_list : int
+val tag_big_set : int

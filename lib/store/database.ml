@@ -233,41 +233,70 @@ let insert_object t ~cls ?(indexed = false) value =
 
 let read_object t rid = decode_object t.schema (Heap_file.read (heap_of_rid t rid) rid)
 
-(* Decode only the header and a field-offset table: one [Codec.skip] sweep
-   over the body, no Value allocation.  Attributes materialize lazily
-   through the Handle's memo array. *)
-let lazy_view schema body =
-  let header, pos0 = Obj_header.decode body ~pos:0 in
-  let class_id = Obj_header.class_id header in
-  let n = Schema.attr_count schema ~class_id in
-  let offsets = Array.make n 0 in
-  let pos = ref pos0 in
-  for i = 0 to n - 1 do
-    offsets.(i) <- !pos;
-    pos := Codec.skip body ~pos:!pos
-  done;
-  (class_id, { Handle.body; offsets; cache = Array.make n None })
-
+(* Packed load: locate the record in the buffer pool and note where its
+   attributes start — no body copy, no offsets table, no header slots array.
+   Attribute reads skip-walk the page bytes from [p_body] on demand.  The
+   charge sequence is identical to the old copy-out load (locate fetches
+   the same pages [Heap_file.read] did); only host work changes. *)
 let acquire t rid =
   Handle_table.acquire t.handles rid ~load:(fun () ->
-      let body = Heap_file.read (heap_of_rid t rid) rid in
-      let class_id, view = lazy_view t.schema body in
-      (class_id, Handle.View view))
+      let page, slot, pos, _len = Heap_file.locate (heap_of_rid t rid) rid in
+      let span_off, _ = Tb_storage.Page_layout.record_span page slot in
+      let buf = Tb_storage.Page_layout.buffer page in
+      let class_id = Obj_header.peek_class_id buf ~pos in
+      let body = Obj_header.skip buf ~pos in
+      ( class_id,
+        Handle.Packed
+          {
+            Handle.p_page = page;
+            p_slot = slot;
+            p_delta = body - span_off;
+            p_version = Tb_storage.Page_layout.version page;
+            p_body = body;
+          } ))
 
 let unref t h = Handle_table.unreference t.handles h
+
+(* Revalidate a packed handle against its page and return the buffer.  The
+   page object stays GC-alive (the handle references it) with frozen bytes
+   even if evicted from the pool; the only way its contents move is in-page
+   compaction, which record_span re-resolves.  A same-rid update installs a
+   Whole repr via [update_object]'s resident-coherence hook before it could
+   be observed here, so the record body itself is unchanged whenever this
+   runs. *)
+let packed_buf (p : Handle.packed) =
+  let v = Tb_storage.Page_layout.version p.Handle.p_page in
+  if v <> p.Handle.p_version then begin
+    let off, _ = Tb_storage.Page_layout.record_span p.Handle.p_page p.Handle.p_slot in
+    p.Handle.p_body <- off + p.Handle.p_delta;
+    p.Handle.p_version <- v
+  end;
+  Tb_storage.Page_layout.buffer p.Handle.p_page
 
 let get_att_slot t h slot =
   Tb_sim.Sim.charge_get_att t.sim;
   match h.Handle.repr with
-  | Handle.View view -> (
-      match view.Handle.cache.(slot) with
-      | Some v -> v
-      | None ->
-          let v, _ = Codec.decode view.Handle.body ~pos:view.Handle.offsets.(slot) in
-          view.Handle.cache.(slot) <- Some v;
-          v)
+  | Handle.Packed p ->
+      let buf = packed_buf p in
+      let pos = ref p.Handle.p_body in
+      for _ = 1 to slot do
+        pos := Codec.skip buf ~pos:!pos
+      done;
+      fst (Codec.decode buf ~pos:!pos)
   | Handle.Whole (Value.Tuple fields) -> snd (List.nth fields slot)
   | Handle.Whole _ -> invalid_arg "Database.get_att_slot: not a tuple"
+
+(* Charge-free peek at a packed handle's record bytes: [Some (buf, body)]
+   with [body] the offset of the first attribute, or [None] when the handle
+   was materialized (e.g. by an update) and callers must take the decoded
+   path. *)
+let packed_body (_t : t) h =
+  match h.Handle.repr with
+  | Handle.Packed p -> Some (packed_buf p, p.Handle.p_body)
+  | Handle.Whole _ -> None
+
+let with_record_bytes t rid ~f =
+  Heap_file.with_record_bytes (heap_of_rid t rid) rid ~f
 
 let attr_slot t ~cls attr =
   match Schema.attr_slot t.schema ~class_id:(Schema.class_id t.schema cls) ~attr with
@@ -285,22 +314,15 @@ let get_att t h attr =
 let handle_value t h =
   match h.Handle.repr with
   | Handle.Whole v -> v
-  | Handle.View view ->
+  | Handle.Packed p ->
       let cls = Schema.class_of_id t.schema h.Handle.class_id in
+      let buf = packed_buf p in
+      let pos = ref p.Handle.p_body in
       Value.Tuple
-        (List.mapi
-           (fun slot (name, _) ->
-             let v =
-               match view.Handle.cache.(slot) with
-               | Some v -> v
-               | None ->
-                   let v, _ =
-                     Codec.decode view.Handle.body
-                       ~pos:view.Handle.offsets.(slot)
-                   in
-                   view.Handle.cache.(slot) <- Some v;
-                   v
-             in
+        (List.map
+           (fun (name, _) ->
+             let v, pos' = Codec.decode buf ~pos:!pos in
+             pos := pos';
              (name, v))
            cls.Schema.attrs)
 
@@ -382,26 +404,58 @@ let scan_cursor t ~cls =
     c_pending = [];
   }
 
-let rec cursor_next cur =
+(* Fill [c_pending] from the next page with matching records; false at end
+   of extent.  The header peek is on the page bytes in place — no body
+   copy, no header decode. *)
+let rec cursor_fill cur =
+  if cur.c_page >= cur.c_pages then false
+  else begin
+    let acc = ref [] in
+    Heap_file.iter_page_spans cur.c_heap ~page:cur.c_page
+      (fun rid buf pos _len ->
+        if
+          Obj_header.peek_class_id buf ~pos = cur.c_want
+          && not (Obj_header.peek_deleted buf ~pos)
+        then acc := rid :: !acc);
+    cur.c_page <- cur.c_page + 1;
+    match List.rev !acc with
+    | [] -> cursor_fill cur
+    | pending ->
+        cur.c_pending <- pending;
+        true
+  end
+
+let cursor_next cur =
   match cur.c_pending with
   | rid :: rest ->
       cur.c_pending <- rest;
       Some rid
   | [] ->
-      if cur.c_page >= cur.c_pages then None
-      else begin
-        let acc = ref [] in
-        Heap_file.iter_page_records cur.c_heap ~page:cur.c_page
-          (fun rid body ->
-            let header, _ = Obj_header.decode body ~pos:0 in
-            if
-              Obj_header.class_id header = cur.c_want
-              && not (Obj_header.deleted header)
-            then acc := rid :: !acc);
-        cur.c_page <- cur.c_page + 1;
-        cur.c_pending <- List.rev !acc;
-        cursor_next cur
+      if cursor_fill cur then begin
+        match cur.c_pending with
+        | rid :: rest ->
+            cur.c_pending <- rest;
+            Some rid
+        | [] -> assert false
       end
+      else None
+
+(* Batched variant: all matching Rids of the next non-empty page at once.
+   Deliberately page-bounded — merging across pages would fetch page N+1
+   before the per-row work on page N's rows, reordering the cache access
+   sequence under small pools. *)
+let cursor_next_page cur =
+  match cur.c_pending with
+  | _ :: _ as pending ->
+      cur.c_pending <- [];
+      Some pending
+  | [] ->
+      if cursor_fill cur then begin
+        let pending = cur.c_pending in
+        cur.c_pending <- [];
+        Some pending
+      end
+      else None
 
 let scan_extent t ~cls f =
   let cur = scan_cursor t ~cls in

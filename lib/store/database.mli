@@ -71,9 +71,24 @@ val get_att : t -> Handle.t -> string -> Value.t
 val attr_slot : t -> cls:string -> string -> int
 
 (** [get_att_slot t h slot] is {!get_att} with the name already resolved:
-    same simulated charge, but attribute access is an array load (memoized
-    lazy decode on first touch). *)
+    same simulated charge, attribute decoded in place off the handle's
+    page bytes. *)
 val get_att_slot : t -> Handle.t -> int -> Value.t
+
+(** [packed_body t h] is [Some (buf, pos)] — the handle's record bytes in
+    place, [pos] at the first attribute — when the handle is packed, or
+    [None] when it was materialized (e.g. by an update) and the caller must
+    use {!get_att_slot}/{!handle_value} instead.  Charge-free; the packed
+    execution path ({!Tb_query.Packed}) evaluates on these bytes. *)
+val packed_body : t -> Handle.t -> (bytes * int) option
+
+(** [with_record_bytes t rid ~f] runs [f buf ~pos ~len] over the record's
+    body bytes in place, pinning the page for the duration of [f] and
+    charging exactly what the Handle-path page access would (one cache
+    fetch per page touched, forwarding hops included).  [f] must not
+    mutate the buffer. *)
+val with_record_bytes :
+  t -> Tb_storage.Rid.t -> f:(bytes -> pos:int -> len:int -> 'a) -> 'a
 
 (** [handle_value t h] materializes the Handle's full value (slow path —
     tests and updates; queries should use {!get_att_slot}). *)
@@ -127,6 +142,12 @@ type cursor
 
 val scan_cursor : t -> cls:string -> cursor
 val cursor_next : cursor -> Tb_storage.Rid.t option
+
+(** [cursor_next_page cur] returns all remaining matching Rids of the next
+    page at once (never straddling a page boundary, so interleaving
+    per-row page accesses with cursor advances keeps the exact charge
+    order of {!cursor_next}).  The vectorized Seq_scan feeds on this. *)
+val cursor_next_page : cursor -> Tb_storage.Rid.t list option
 
 val cardinality : t -> cls:string -> int
 

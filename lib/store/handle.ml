@@ -1,16 +1,18 @@
-(* A freshly loaded Handle holds the record's raw bytes plus a field-offset
-   table; attributes decode on first access and memoize into [cache], so a
-   repeated get_att on a live Handle is an array load.  [Whole] is the
-   fully-materialized form (updates install it so resident Handles stay
-   coherent with the store). *)
+(* A freshly loaded Handle points straight into the buffer-pool page that
+   holds its record ([Packed]); attributes decode on demand by skip-walking
+   the record bytes, so acquiring an object allocates nothing per attribute.
+   [Whole] is the fully-materialized form (updates install it so resident
+   Handles stay coherent with the store). *)
 
-type view = {
-  body : bytes;
-  offsets : int array;  (* absolute start of each attribute's encoding *)
-  cache : Value.t option array;  (* decoded attributes, by slot *)
+type packed = {
+  p_page : Tb_storage.Page_layout.t;  (* page holding the record body *)
+  p_slot : int;  (* physical slot on p_page (not the home slot if relocated) *)
+  p_delta : int;  (* first attribute's offset relative to the record span *)
+  mutable p_version : int;  (* p_page version p_body was derived under *)
+  mutable p_body : int;  (* absolute offset of the first attribute *)
 }
 
-type repr = Whole of Value.t | View of view
+type repr = Whole of Value.t | Packed of packed
 
 type t = {
   rid : Tb_storage.Rid.t;

@@ -8,22 +8,28 @@
     behaviour and the slimmed-down representative the paper proposes in
     Section 4.4; the ablation bench flips it.
 
-    The representative itself is lazy: loading a Handle stores the record
-    body and a per-attribute offset table ([View]); attributes are decoded
-    on first access and memoized, so acquiring an object never pays for
-    attributes the query ignores.  All of this is real-time machinery only —
-    the simulated costs (handle alloc/free, get_att) are charged exactly as
-    before. *)
+    The representative itself is packed: loading a Handle records where the
+    object's attributes live inside the buffer-pool page ([Packed]) and
+    attribute reads skip-walk those bytes in place, so acquiring an object
+    copies nothing and never pays for attributes the query ignores.  All of
+    this is real-time machinery only — the simulated costs (handle
+    alloc/free, get_att) are charged exactly as before. *)
 
-type view = {
-  body : bytes;
-  offsets : int array;  (** absolute start of each attribute's encoding *)
-  cache : Value.t option array;  (** decoded attributes, memoized by slot *)
+type packed = {
+  p_page : Tb_storage.Page_layout.t;  (** page holding the record body *)
+  p_slot : int;
+      (** physical slot on [p_page]; differs from the home Rid's slot when
+          the record was relocated by a growing update *)
+  p_delta : int;
+      (** offset of the first attribute relative to the record span start
+          (framing tag + header); immutable for a given record body *)
+  mutable p_version : int;  (** page version [p_body] was computed under *)
+  mutable p_body : int;  (** absolute offset of the first attribute *)
 }
 
 type repr =
   | Whole of Value.t  (** fully materialized (e.g. after an update) *)
-  | View of view  (** lazy: decode attributes on demand *)
+  | Packed of packed  (** in-place: decode attributes straight off the page *)
 
 type t = {
   rid : Tb_storage.Rid.t;

@@ -19,7 +19,7 @@ val kind : t -> Tb_sim.Cost_model.handle_kind
 (** [acquire t rid ~load] returns the object's Handle with its refcount
     bumped.  A resident Handle (live or zombie) is reused for almost
     nothing; otherwise a new one is allocated (charged) and [load] is called
-    to produce the object's representation (usually a lazy {!Handle.View}). *)
+    to produce the object's representation (usually a {!Handle.Packed}). *)
 val acquire :
   t -> Tb_storage.Rid.t -> load:(unit -> int * Handle.repr) -> Handle.t
 

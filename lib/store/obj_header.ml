@@ -86,6 +86,15 @@ let encode t =
       Array.iteri (fun i s -> Bytes.set_uint16_le b (4 + (2 * i)) s) slots);
   b
 
+(* Header peeking for the packed read path: pull the class id and the body
+   offset out of a raw record without materializing the slots array. *)
+let peek_class_id b ~pos = Bytes.get_uint16_le b pos
+let peek_deleted b ~pos = Bytes.get_uint8 b (pos + 2) land 2 <> 0
+
+let skip b ~pos =
+  if Bytes.get_uint8 b (pos + 2) land 1 = 0 then pos + 3
+  else pos + 4 + (2 * Bytes.get_uint8 b (pos + 3))
+
 let decode b ~pos =
   let class_id = Bytes.get_uint16_le b pos in
   let flags = Bytes.get_uint8 b (pos + 2) in

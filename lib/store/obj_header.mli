@@ -46,3 +46,14 @@ val encoded_size : t -> int
 
 val encode : t -> bytes
 val decode : bytes -> pos:int -> t * int
+
+(** [peek_class_id b ~pos] reads just the class id of a header encoded at
+    [pos] — no allocation. *)
+val peek_class_id : bytes -> pos:int -> int
+
+(** [peek_deleted b ~pos] reads just the deleted flag — no allocation. *)
+val peek_deleted : bytes -> pos:int -> bool
+
+(** [skip b ~pos] is the offset just past the header encoded at [pos]
+    (i.e. where the attribute values begin), without decoding it. *)
+val skip : bytes -> pos:int -> int

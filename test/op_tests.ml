@@ -204,6 +204,8 @@ let test_sorted_rids_leak_on_raise () =
                              var = "pa";
                              preds = [];
                              covering = true;
+                             mode = Op.Handle;
+                             batch = 256;
                            });
                     select = Oql_ast.Path ("pa", "age");
                   });
@@ -232,6 +234,8 @@ let test_merge_leak_on_raise () =
            var;
            preds = [];
            covering = false;
+           mode = Op.Handle;
+           batch = 256;
          })
   in
   (* The left run is gathered, claimed and sorted; the right side then
@@ -262,6 +266,7 @@ let test_merge_leak_on_raise () =
                                                key = Op.K_self;
                                                cls = Derby.provider_cls;
                                                attrs = [ "name" ];
+                                               mode = Op.Handle;
                                              });
                                     });
                              right =
@@ -277,6 +282,7 @@ let test_merge_leak_on_raise () =
                                                key = Op.K_inverse "nonexistent";
                                                cls = Derby.patient_cls;
                                                attrs = [];
+                                               mode = Op.Handle;
                                              });
                                     });
                              left_var = "p";

@@ -23,6 +23,10 @@ let selection = "select pa.age from pa in Patients where pa.mrn < 40"
 let identity_selection = "select pa from pa in Patients"
 let aggregate_selection = "select count(pa) from pa in Patients"
 
+(* A char-typed comparison: not packed-compilable, so the lowered Fetch
+   must fall back to mode=handle. *)
+let char_selection = "select pa.age from pa in Patients where pa.sex = 'F'"
+
 let join =
   "select [p.name, pa.age] from p in Providers, pa in p.clients where pa.mrn \
    < 60 and p.upin < 15"
@@ -40,6 +44,7 @@ let () =
   show db "selection sorted" ~force_sorted:true selection;
   show db "selection covering" identity_selection;
   show db "selection aggregate" aggregate_selection;
+  show db "selection char fallback" ~force_seq:true char_selection;
   List.iter
     (fun algo ->
       let name = Plan.algo_name algo in

@@ -1,0 +1,5 @@
+(* The R5 counterpart to r5_unsafe.ml: this module is named in the config's
+   r5 allowed list — the packed execution kernel may read record bytes
+   unchecked — so the same call that is flagged there must be clean here. *)
+
+let tag (b : bytes) = Char.code (Bytes.unsafe_get b 0)

@@ -1,3 +1,5 @@
 (* R5 fixture: an unsafe access outside the codec/page layer. *)
 
 let first (a : int array) = Array.unsafe_get a 0
+
+let raw (b : bytes) = Bytes.unsafe_get b 0

@@ -57,6 +57,7 @@ let expected =
     ("R3", "r3_determinism.ml", 12, "Hashtbl.create@boxed");
     ("R4", "r4_state.ml", 4, "forgotten");
     ("R5", "r5_unsafe.ml", 3, "Array.unsafe_get");
+    ("R5", "r5_unsafe.ml", 5, "Bytes.unsafe_get");
   ]
 
 let describe (r, f, l, o) = Printf.sprintf "%s %s:%d %s" r f l o
@@ -69,7 +70,7 @@ let test_fixture_diagnostics () =
         (d.Diag.rule, Filename.basename d.Diag.file, d.Diag.line, d.Diag.offender))
       result.Engine.diagnostics
   in
-  check "fixture library scanned (6 modules)" (result.Engine.files_scanned = 6);
+  check "fixture library scanned (7 modules)" (result.Engine.files_scanned = 7);
   check
     (Printf.sprintf "fixture violation count (%d, want %d)"
        result.Engine.violations (List.length expected))
@@ -85,6 +86,13 @@ let test_fixture_diagnostics () =
     (not
        (List.exists
           (fun d -> Filename.basename d.Diag.file = "clean.ml")
+          result.Engine.diagnostics));
+  (* The r5-allowed module: same unsafe call as r5_unsafe.ml, zero
+     diagnostics because "Packed" is in the allowed list. *)
+  check "packed.ml is clean under the r5 allowance"
+    (not
+       (List.exists
+          (fun d -> Filename.basename d.Diag.file = "packed.ml")
           result.Engine.diagnostics))
 
 let test_allowlist_member () =
@@ -107,7 +115,8 @@ let test_allowlist_module_wide () =
     run ~allow:[ ("R3 R3_determinism", "fixture-wide exception") ] ()
   in
   check "module-wide allow suppresses all four R3 diagnostics"
-    (result.Engine.allowlisted = 4 && result.Engine.violations = 6)
+    (result.Engine.allowlisted = 4
+    && result.Engine.violations = List.length expected - 4)
 
 let test_baseline () =
   let all = run () in
