@@ -26,6 +26,7 @@ let parse_args () =
   let scale = ref default_scale in
   let micro = ref false in
   let batches = ref [] in
+  let shards = ref [] in
   let csv = ref None in
   let figures = ref [] in
   let rec go = function
@@ -54,6 +55,28 @@ let parse_args () =
         batches := !batches @ parsed;
         go rest
     | [ "--batch" ] -> usage "--batch requires a value, e.g. 1,64,256,1024"
+    | "--shards" :: rest ->
+        (* An explicit comma list may follow; bare --shards sweeps the
+           default S ∈ {1, 2, 4, 8}. *)
+        let parse_list v =
+          List.map
+            (fun s ->
+              match int_of_string_opt (String.trim s) with
+              | Some n when n > 0 -> Some n
+              | Some _ | None -> None)
+            (String.split_on_char ',' v)
+        in
+        let taken, rest =
+          match rest with
+          | v :: more -> (
+              match parse_list v with
+              | parsed when List.for_all Option.is_some parsed ->
+                  (List.filter_map Fun.id parsed, more)
+              | _ -> ([ 1; 2; 4; 8 ], rest))
+          | [] -> ([ 1; 2; 4; 8 ], [])
+        in
+        shards := !shards @ taken;
+        go rest
     | "--csv" :: path :: rest ->
         csv := Some path;
         go rest
@@ -65,7 +88,7 @@ let parse_args () =
   in
   go (List.tl (Array.to_list Sys.argv));
   let figures = match List.rev !figures with [] -> [ "all" ] | fs -> fs in
-  (!scale, !micro, !batches, !csv, figures)
+  (!scale, !micro, !batches, !shards, !csv, figures)
 
 (* The Bechamel micro suite itself lives in {!Micro}, shared with
    bench/perf_gate.exe. *)
@@ -83,8 +106,27 @@ let run_batch_sweep batches =
     (fun (name, est) -> Printf.printf "%-36s %14.1f ns/run\n" name est)
     (Micro.batch_sweep ~quota:0.5 ~batches ())
 
+(* Simulated elapsed, not wall clock: the fork/join clock's speedup with
+   the Gather merge cost itemized. *)
+let run_shard_sweep shards_list =
+  Printf.printf
+    "\n=== Shard sweep (fig7 full scan, simulated elapsed) ===\n";
+  let sweep = Micro.shard_sweep ~shards_list () in
+  let base =
+    match sweep with (_, l) :: _ -> l.Tb_query.Exec.elapsed_ms | [] -> 1.0
+  in
+  List.iter
+    (fun (s, l) ->
+      Printf.printf
+        "S=%-2d  elapsed %10.3f ms  speedup %5.2fx  merge %7.3f ms  \
+         critical shard %d\n"
+        s l.Tb_query.Exec.elapsed_ms
+        (base /. l.Tb_query.Exec.elapsed_ms)
+        l.Tb_query.Exec.merge_ms l.Tb_query.Exec.critical)
+    sweep
+
 let () =
-  let scale, micro, batches, csv, figures = parse_args () in
+  let scale, micro, batches, shards, csv, figures = parse_args () in
   let ppf = Format.std_formatter in
   Format.fprintf ppf
     "treebench — reproducing \"Benchmarking Queries over Trees: Learning \
@@ -109,4 +151,5 @@ let () =
          (use --csv FILE to export)@."
         (Tb_statdb.Stat_store.count (Tb_core.Figures.stats ctx)));
   if micro then run_micro ();
-  if batches <> [] then run_batch_sweep batches
+  if batches <> [] then run_batch_sweep batches;
+  if shards <> [] then run_shard_sweep shards

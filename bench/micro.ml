@@ -4,18 +4,22 @@
    interactive listing and the regression gate always measure the same
    thing. *)
 
+let bench_cfg () =
+  {
+    (Tb_derby.Generator.config ~scale:500 `Deep
+       Tb_derby.Generator.Class_clustered)
+    with
+    Tb_derby.Generator.n_providers = 200;
+    fanout = 3;
+  }
+
 let built =
+  lazy (Tb_derby.Generator.build ~cost:(Tb_sim.Cost_model.scaled 500) (bench_cfg ()))
+
+let sharded_built =
   lazy
-    (let cfg =
-       {
-         (Tb_derby.Generator.config ~scale:500 `Deep
-            Tb_derby.Generator.Class_clustered)
-         with
-         Tb_derby.Generator.n_providers = 200;
-         fanout = 3;
-       }
-     in
-     Tb_derby.Generator.build ~cost:(Tb_sim.Cost_model.scaled 500) cfg)
+    (Tb_derby.Generator.build_sharded ~cost:(Tb_sim.Cost_model.scaled 500)
+       ~shards:4 (bench_cfg ()))
 
 let run_query ?force_algo ?force_seq ?force_sorted ?packed ?batch q () =
   let b = Lazy.force built in
@@ -55,6 +59,19 @@ let tests () =
     t "fig7.sorted_index_scan" (fun () ->
         run_query ~force_sorted:true (Lazy.force sel_q) ());
     t "fig7.full_scan" (fun () -> run_query ~force_seq:true (Lazy.force sel_q) ());
+    (* The same scan fanned out over 4 shards: wall-clock cost of the
+       sharded interpreter (simulated elapsed is the shard sweep's job). *)
+    t "fig7.sharded_scan" (fun () ->
+        let b = Lazy.force sharded_built in
+        let smap = b.Tb_derby.Generator.smap in
+        Tb_store.Shard_map.cold_restart smap;
+        let r =
+          Tb_query.Planner.run_sharded smap (Lazy.force sel_q) ~force_seq:true
+            ~keep:false
+        in
+        let n = Tb_query.Query_result.count r in
+        Tb_query.Query_result.dispose r;
+        n);
     (* The packed engine floor under fig7: the same selection evaluated
        directly on record bytes — acquire, pin, seek, compare — without
        the planner/materialize shell around it. *)
@@ -241,6 +258,31 @@ let estimates ~quota () = estimates_of ~quota (tests ())
    the row vectors amortize.  Charge-invariant by construction (the parity
    test pins that), so this is wall-clock tuning data only — deliberately
    not part of [tests ()], the perf_gate baseline tracks the default. *)
+(* Shard-count sweep over the fig7 full scan, in *simulated* elapsed time:
+   the near-linear fork/join speedup, with the Gather merge cost bending
+   the curve.  Deterministic — one cold run per shard count, no Bechamel;
+   each S gets its own freshly built partitioning. *)
+let shard_sweep ~shards_list () =
+  List.map
+    (fun shards ->
+      let b =
+        Tb_derby.Generator.build_sharded ~cost:(Tb_sim.Cost_model.scaled 500)
+          ~shards (bench_cfg ())
+      in
+      let smap = b.Tb_derby.Generator.smap in
+      Tb_store.Shard_map.cold_restart smap;
+      let q =
+        Printf.sprintf "select pa.age from pa in Patients where pa.num < %d"
+          (Array.length b.Tb_derby.Generator.sh_patients / 2)
+      in
+      let r, _, _, lanes =
+        Tb_query.Planner.run_sharded_explained smap q ~force_seq:true
+          ~keep:false
+      in
+      Tb_query.Query_result.dispose r;
+      (shards, lanes))
+    shards_list
+
 let batch_sweep ~quota ~batches () =
   let open Bechamel in
   let tests =

@@ -139,7 +139,57 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
-  let run oql scale shape org algo seq sorted show explain =
+  let shards_arg =
+    let doc =
+      "Run the query over $(docv) hash-partitioned shards.  Parallelism is \
+       simulated but exact: elapsed is the max over per-shard clock lanes \
+       plus the Gather merge cost; with --explain the per-shard operator \
+       frames and the critical-path shard are printed."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let run_sharded oql ~scale ~shape ~org ~shards ~algo ~seq ~sorted ~show
+      ~explain =
+    let cfg = Tb_derby.Generator.config ~scale shape org in
+    let b =
+      Tb_derby.Generator.build_sharded ~cost:(Tb_sim.Cost_model.scaled scale)
+        ~shards cfg
+    in
+    let smap = b.Tb_derby.Generator.smap in
+    let organization = Tb_derby.Generator.estimate_organization cfg in
+    Tb_store.Shard_map.cold_restart smap;
+    let r, root, global, lanes =
+      Tb_query.Planner.run_sharded_explained smap oql ~organization
+        ?force_algo:algo ~force_seq:seq ?force_sorted:sorted ~keep:show
+    in
+    Format.printf "rows=%d  shards=%d  work=%.3f ms  elapsed=%.3f ms@."
+      (Tb_query.Query_result.count r)
+      shards global.Tb_query.Op.t_ms lanes.Tb_query.Exec.elapsed_ms;
+    if explain then begin
+      Format.printf "%a" (Tb_query.Op.pp_report ~global) root;
+      Array.iteri
+        (fun i ms ->
+          Format.printf "lane %d: %10.3f ms%s@." i ms
+            (if i = lanes.Tb_query.Exec.critical then "   <- critical path"
+             else ""))
+        lanes.Tb_query.Exec.lane_ms;
+      Format.printf "gather merge: %.3f ms@." lanes.Tb_query.Exec.merge_ms
+    end;
+    if show then
+      List.iter
+        (fun v -> Format.printf "  %a@." Tb_store.Value.pp v)
+        (Tb_query.Query_result.sample r);
+    Tb_query.Query_result.dispose r
+  in
+  let run oql scale shape org algo seq sorted show explain shards =
+    if shards < 1 then begin
+      Printf.eprintf "treebench: --shards expects a positive count\n";
+      exit 2
+    end
+    else if shards > 1 then
+      run_sharded oql ~scale ~shape ~org ~shards ~algo ~seq ~sorted ~show
+        ~explain
+    else begin
     let b = build_db ~scale ~shape ~org in
     let organization =
       Tb_derby.Generator.estimate_organization b.Tb_derby.Generator.cfg
@@ -170,12 +220,13 @@ let query_cmd =
         (Tb_query.Query_result.sample r);
       Tb_query.Query_result.dispose r
     end
+    end
   in
   let doc = "Build a Derby database and run one OQL query, cold." in
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ oql_arg $ scale_arg $ shape_arg $ org_arg $ algo_arg
-      $ seq_arg $ sorted_arg $ show_arg $ explain_arg)
+      $ seq_arg $ sorted_arg $ show_arg $ explain_arg $ shards_arg)
 
 (* --- plan --- *)
 

@@ -13,10 +13,17 @@ dune build @all
 # Prints `treelint: N rules, M files, 0 violations` on success.
 dune build @lint
 # runtest also diffs the plan-lowering / explain snapshots in test/snapshot/
-# against their committed expectations; after an intentional plan or
-# operator change — including anything that flips a fetch/harvest between
-# mode=packed and mode=handle or changes the batch size shown in its
-# label — run `dune promote` and commit the updated .expected.
+# against their committed expectations (including the sharded S=1/S=4
+# matrix); after an intentional plan or operator change — including
+# anything that flips a fetch/harvest between mode=packed and mode=handle
+# or changes the batch size shown in its label — run `dune promote` and
+# commit the updated .expected.
+#
+# Sharding gates ride in the same pass: test/shard_parity_tests.ml runs the
+# full algorithm x access-path matrix on twin S=1/S=4 databases (identical
+# result multisets, per-shard frames reconciling exactly against the global
+# counters), and the invariance suite pins S=1 to the golden scale-40
+# fingerprint byte for byte — one shard must BE the unsharded engine.
 dune runtest
 # Exhaustive crash-recovery fuzz: crash at every durable write of the
 # fixed-seed workload (the default runtest pass strides the same sweep).

@@ -151,6 +151,58 @@ let selection_lines ?per_op ~scale () =
   sel [ `Index; `Scan ] [ 1; 10; 50; 100; 300; 600; 900 ]
   @ sel [ `Sorted ] [ 100; 300; 600; 900 ]
 
+(* The selection workload again, through the sharded engine.  At S=1 the
+   tags and every byte after them must reproduce the golden file's "sel "
+   lines exactly: a one-shard map is the unsharded engine by construction
+   (same build charge stream, same plans, no Gather/Shard_lane nodes), and
+   this is the cheap gate that pins it.  At S>1 the lines are a fingerprint
+   of the partitioned physics instead. *)
+let sharded_selection_lines ~shards ~scale () =
+  let cfg = Generator.config ~scale `Wide Generator.Class_clustered in
+  let b =
+    Generator.build_sharded ~cost:(Tb_sim.Cost_model.scaled scale) ~shards cfg
+  in
+  let smap = b.Generator.smap in
+  let sim = Tb_store.Shard_map.sim smap in
+  let n_patients = Array.length b.Generator.sh_patients in
+  let run_cold_sharded ?force_seq ?force_sorted ~tag q =
+    Tb_store.Shard_map.cold_restart smap;
+    Sim.reset sim;
+    let r =
+      Tb_query.Planner.run_sharded ?force_seq ?force_sorted ~keep:false smap q
+    in
+    let n = Tb_query.Query_result.count r in
+    Tb_query.Query_result.dispose r;
+    line ~tag (Tb_store.Shard_map.shard smap 0) n
+  in
+  let sel accesses =
+    List.concat_map
+      (fun sel_permille ->
+        let k = sel_permille * n_patients / 1000 in
+        let q =
+          Printf.sprintf "select pa.age from pa in Patients where pa.num < %d"
+            k
+        in
+        List.map
+          (fun access ->
+            match access with
+            | `Scan ->
+                run_cold_sharded ~force_seq:true
+                  ~tag:(Printf.sprintf "sel scan p=%d" sel_permille)
+                  q
+            | `Index ->
+                run_cold_sharded ~force_sorted:false
+                  ~tag:(Printf.sprintf "sel index p=%d" sel_permille)
+                  q
+            | `Sorted ->
+                run_cold_sharded ~force_sorted:true
+                  ~tag:(Printf.sprintf "sel sorted p=%d" sel_permille)
+                  q)
+          accesses)
+  in
+  sel [ `Index; `Scan ] [ 1; 10; 50; 100; 300; 600; 900 ]
+  @ sel [ `Sorted ] [ 100; 300; 600; 900 ]
+
 (* The full workload behind fig6/fig7/fig9/fig11-fig15, in a fixed order.
    Each database is built, measured and dropped before the next one so peak
    RSS stays one simulated disk. *)

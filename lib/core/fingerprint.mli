@@ -21,3 +21,12 @@
     byte-identical; the suffix refines the totals down to the operator
     that produced them. *)
 val collect : ?per_op:bool -> scale:int -> unit -> string list
+
+(** [sharded_selection_lines ~shards ~scale ()] re-runs the selection part
+    of the workload through the sharded engine ([Planner.run_sharded] over
+    a [~shards]-way {!Tb_derby.Generator.build_sharded} database), with the
+    same tags as the unsharded lines.  At [shards = 1] the output must
+    equal the golden file's ["sel "] lines byte for byte — the gate that
+    pins "one shard is the unsharded engine".  At higher shard counts it
+    fingerprints the partitioned physics instead. *)
+val sharded_selection_lines : shards:int -> scale:int -> unit -> string list

@@ -55,6 +55,17 @@ type built = {
   load_seconds : float;
 }
 
+type built_sharded = {
+  smap : Tb_store.Shard_map.t;
+  sh_cfg : config;
+  sh_cost : Tb_sim.Cost_model.t;
+  sh_providers : Rid.t array;
+  sh_patients : Rid.t array;
+  provider_shard : int array;
+  patient_shard : int array;
+  sh_load_seconds : float;
+}
+
 let estimate_organization cfg =
   match cfg.organization with
   | Class_clustered -> Tb_query.Estimate.Separate_files
@@ -235,4 +246,159 @@ let build ?(cost = Tb_sim.Cost_model.default) cfg =
     mrn_index;
     num_index;
     load_seconds;
+  }
+
+(* The sharded twin of [build]: same RNG draw sequence, same global object
+   creation order, but each provider — and, colocated with it, its patients
+   — is created in the shard its upin hashes to.  At [shards = 1] every
+   call lands on shard 0 with the same cache budgets as [build]'s single
+   database, so the charge stream (counters, clock, peak) is bit-identical
+   to the unsharded load; the parity suite pins that. *)
+let build_sharded ?(cost = Tb_sim.Cost_model.default) ~shards cfg =
+  let sim = Tb_sim.Sim.create ~seed:cfg.seed cost in
+  let rng = sim.Tb_sim.Sim.rng in
+  let smap =
+    Tb_store.Shard_map.create sim ~schema:Derby.schema ~shards
+      ~server_pages:cfg.server_pages ~client_pages:cfg.client_pages
+      ~handle_kind:cfg.handle_kind ~txn_mode:cfg.txn_mode
+      ~zombie_limit:(max 64 (cfg.client_pages / shards))
+      ~key_attr:"upin" ~seed:cfg.seed ()
+  in
+  let np = cfg.n_providers in
+  let nc = np * cfg.fanout in
+  let provider_of, children = assignment rng ~n_providers:np ~fanout:cfg.fanout in
+  let num_key = Rng.permutation rng nc in
+  let ages = Array.init nc (fun _ -> Rng.int rng 100) in
+  let provider_shard =
+    Array.init np (fun i -> Tb_store.Shard_map.shard_of_key smap i)
+  in
+  let patient_shard = Array.init nc (fun j -> provider_shard.(provider_of.(j))) in
+  Tb_store.Shard_map.iter smap (fun s db ->
+      match cfg.organization with
+      | Class_clustered | Assoc_ordered ->
+          Database.bind_class db ~cls:Derby.provider_cls
+            (Database.new_file db ~name:(Printf.sprintf "providers.%d" s));
+          Database.bind_class db ~cls:Derby.patient_cls
+            (Database.new_file db ~name:(Printf.sprintf "patients.%d" s))
+      | Randomized | Composition ->
+          let shared =
+            Database.new_file db ~name:(Printf.sprintf "objects.%d" s)
+          in
+          Database.bind_class db ~cls:Derby.provider_cls shared;
+          Database.bind_class db ~cls:Derby.patient_cls shared);
+  let providers = Array.make np Rid.nil in
+  let patients = Array.make nc Rid.nil in
+  let created = ref 0 in
+  let maybe_commit () =
+    incr created;
+    if cfg.txn_mode = Transaction.Standard && !created mod cfg.commit_every = 0
+    then Tb_store.Shard_map.commit smap
+  in
+  let clients_placeholder =
+    let inline = Value.Set (List.init cfg.fanout (fun _ -> Value.Ref Rid.nil)) in
+    if Tb_store.Codec.encoded_size inline > Tb_store.Big_collection.spill_threshold
+    then Value.Set []
+    else inline
+  in
+  let provider_db i = Tb_store.Shard_map.shard smap provider_shard.(i) in
+  let patient_db j = Tb_store.Shard_map.shard smap patient_shard.(j) in
+  let create_provider i =
+    providers.(i) <-
+      Database.insert_object (provider_db i) ~cls:Derby.provider_cls
+        ~indexed:cfg.indexed_creation
+        (Derby.provider_value ~upin:i ~clients:clients_placeholder);
+    maybe_commit ()
+  in
+  let create_patient ?pcp j =
+    let pcp =
+      match pcp with Some rid -> Value.Ref rid | None -> Value.Ref Rid.nil
+    in
+    patients.(j) <-
+      Database.insert_object (patient_db j) ~cls:Derby.patient_cls
+        ~indexed:cfg.indexed_creation
+        (Derby.patient_value ~mrn:j ~age:ages.(j)
+           ~sex:(if j land 1 = 0 then 'F' else 'M')
+           ~random_integer:(1 + Rng.int rng np)
+           ~num:num_key.(j) ~pcp);
+    maybe_commit ()
+  in
+  let set_clients i =
+    let db = provider_db i in
+    let refs = List.map (fun j -> Value.Ref patients.(j)) children.(i) in
+    let header, value = Database.read_object db providers.(i) in
+    ignore header;
+    Database.update_object db providers.(i)
+      (Value.set_field value "clients" (Value.Set refs));
+    maybe_commit ()
+  in
+  let set_pcp j =
+    let db = patient_db j in
+    let _, value = Database.read_object db patients.(j) in
+    Database.update_object db patients.(j)
+      (Value.set_field value "primary_care_provider"
+         (Value.Ref providers.(provider_of.(j))));
+    maybe_commit ()
+  in
+  (match cfg.organization with
+  | Class_clustered ->
+      for i = 0 to np - 1 do
+        create_provider i
+      done;
+      for j = 0 to nc - 1 do
+        create_patient ~pcp:providers.(provider_of.(j)) j
+      done;
+      for i = 0 to np - 1 do
+        set_clients i
+      done
+  | Randomized ->
+      let order = Array.init (np + nc) (fun k -> k) in
+      Rng.shuffle rng order;
+      Array.iter
+        (fun k -> if k < np then create_provider k else create_patient (k - np))
+        order;
+      for j = 0 to nc - 1 do
+        set_pcp j
+      done;
+      for i = 0 to np - 1 do
+        set_clients i
+      done
+  | Composition ->
+      for i = 0 to np - 1 do
+        create_provider i;
+        List.iter (fun j -> create_patient ~pcp:providers.(i) j) children.(i);
+        set_clients i
+      done
+  | Assoc_ordered ->
+      for i = 0 to np - 1 do
+        create_provider i
+      done;
+      for i = 0 to np - 1 do
+        List.iter (fun j -> create_patient ~pcp:providers.(i) j) children.(i)
+      done;
+      for i = 0 to np - 1 do
+        set_clients i
+      done);
+  Tb_store.Shard_map.iter smap (fun _ db ->
+      ignore
+        (Database.create_index db ~name:"upin" ~cls:Derby.provider_cls
+           ~attr:"upin");
+      ignore
+        (Database.create_index db ~name:"mrn" ~cls:Derby.patient_cls ~attr:"mrn");
+      if cfg.build_num_index then
+        ignore
+          (Database.create_index db ~name:"num" ~cls:Derby.patient_cls
+             ~attr:"num"));
+  Tb_store.Shard_map.commit smap;
+  let sh_load_seconds = Tb_sim.Sim.elapsed_s sim in
+  Tb_store.Shard_map.cold_restart smap;
+  Tb_sim.Sim.reset sim;
+  {
+    smap;
+    sh_cfg = cfg;
+    sh_cost = cost;
+    sh_providers = providers;
+    sh_patients = patients;
+    provider_shard;
+    patient_shard;
+    sh_load_seconds;
   }

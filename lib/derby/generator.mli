@@ -60,6 +60,27 @@ type built = {
     [Cost_model.scaled 1]. *)
 val build : ?cost:Tb_sim.Cost_model.t -> config -> built
 
+type built_sharded = {
+  smap : Tb_store.Shard_map.t;
+  sh_cfg : config;
+  sh_cost : Tb_sim.Cost_model.t;
+  sh_providers : Tb_storage.Rid.t array;
+      (** by logical id; each Rid lives in its owning shard's database *)
+  sh_patients : Tb_storage.Rid.t array;
+  provider_shard : int array;  (** logical provider id → shard number *)
+  patient_shard : int array;  (** colocated with the patient's provider *)
+  sh_load_seconds : float;
+}
+
+(** [build_sharded ?cost ~shards cfg] is the horizontally partitioned twin
+    of {!build}: the same RNG draw sequence and the same global creation
+    order, with each provider and its patients created in the shard
+    [hash(upin)] selects (colocation, so every join pair is shard-local).
+    Every shard gets its own files and its own upin/mrn/num indexes.  With
+    [~shards:1] the load's charge stream is bit-identical to {!build}. *)
+val build_sharded :
+  ?cost:Tb_sim.Cost_model.t -> shards:int -> config -> built_sharded
+
 (** [estimate_organization cfg] maps the generator's organization onto the
     planner's coarser view. *)
 val estimate_organization : config -> Tb_query.Estimate.organization

@@ -1,0 +1,58 @@
+(** Exchange/Gather charge kernels — the shipping side of sharded execution.
+
+    The only module that charges repartition and gather traffic (treelint
+    R1): {!Exec} drives the loops, this module pays for them.  Rows move
+    between shard lanes by client/server RPC, batched one page at a time,
+    mirroring the page-shipping architecture of the paper's client/server
+    engine. *)
+
+(** An S-way routed buffer: rows accumulate per destination lane, claim
+    simulated memory, and pay one RPC per filled page. *)
+type 'a t
+
+(** [create sim ~shards] — raises [Invalid_argument] when [shards <= 0]. *)
+val create : Tb_sim.Sim.t -> shards:int -> 'a t
+
+val shards : 'a t -> int
+
+(** [retag ~shard rid] tags a key Rid with its source shard so keys from
+    different shards can never collide after repartitioning.  Colocated
+    join sides carry the same tag on both sides of a matching pair. *)
+val retag : shard:int -> Tb_storage.Rid.t -> Tb_storage.Rid.t
+
+(** Destination lane of a (retagged) key: its hash modulo the lane count. *)
+val dest_of : 'a t -> Tb_storage.Rid.t -> int
+
+(** [send t ~dest ~bytes v] routes one row: buffers it, claims [bytes] of
+    simulated memory, and charges one single-page RPC each time the
+    destination's buffered bytes fill a page. *)
+val send : 'a t -> dest:int -> bytes:int -> 'a -> unit
+
+(** End of one source's stream: ship every destination's partial page
+    (one single-page RPC per non-empty partial). *)
+val flush_source : 'a t -> unit
+
+(** [take t ~dest] returns (and clears) lane [dest]'s rows in arrival
+    order.  Charge-free: shipping was paid by [send]/[flush_source]. *)
+val take : 'a t -> dest:int -> 'a list
+
+(** Release the simulated memory still claimed for lane [dest] (call after
+    the lane's rows have been consumed into their next operator). *)
+val release_dest : 'a t -> dest:int -> unit
+
+(** Release everything (exception cleanup). *)
+val dispose : 'a t -> unit
+
+(** {2 Gather kernels} *)
+
+(** Ship one shard's partial result to the coordinator: one RPC carrying
+    [bytes] rounded up to whole pages (0 pages for an empty partial still
+    pays the fixed round-trip). *)
+val ship_partial : Tb_sim.Sim.t -> bytes:int -> unit
+
+val log2ceil : int -> int
+
+(** [merge_ordered sim ~rows ~streams] charges the comparisons of an
+    S-way tournament merge: [rows * log2ceil streams].  No-op for a single
+    stream or an empty result. *)
+val merge_ordered : Tb_sim.Sim.t -> rows:int -> streams:int -> unit

@@ -517,50 +517,338 @@ let iter_values st node emit =
           Op.Acct.enter st.acct fr)
   | _ -> invalid_arg "Exec: operator does not produce values"
 
+(* Drive a Materialize subtree to completion and return its result. *)
+let drive_materialize st node ~keep =
+  match node.Op.kind with
+  | Op.Materialize { child; aggregate } ->
+      let fr = node.Op.frame in
+      let result = Query_result.create ?aggregate (Database.sim st.db) ~keep in
+      iter_values st child (fun v ->
+          Op.Acct.enter st.acct fr;
+          fr.Op.rows_in <- fr.Op.rows_in + 1;
+          Query_result.append result v;
+          fr.Op.rows_out <- fr.Op.rows_out + 1);
+      Op.Acct.enter st.acct fr;
+      fr.Op.bytes <- Query_result.size_bytes result;
+      result
+  | _ -> invalid_arg "Exec: operator tree root must be Materialize"
+
+(* Global counter deltas between two snapshots, in explain-report fields.
+   [t_ms] reads [work_ms], the monotone sum of every advance: inside a
+   fork/join scope elapsed time takes the max over lanes while the per-
+   operator frames (also fed from [work_ms]) stay additive — and outside a
+   scope the two clocks are bit-identical. *)
+type snapshot = {
+  p_ms : float;
+  p_dr : int;
+  p_dw : int;
+  p_ha : int;
+  p_ga : int;
+  p_cmp : int;
+  p_hi : int;
+  p_hp : int;
+  p_sc : int;
+}
+
+let snapshot sim =
+  let c = sim.Tb_sim.Sim.counters in
+  {
+    p_ms = Tb_sim.Clock.work_ms sim.Tb_sim.Sim.clock;
+    p_dr = c.Counters.disk_reads;
+    p_dw = c.Counters.disk_writes;
+    p_ha = c.Counters.handle_allocs;
+    p_ga = c.Counters.get_atts;
+    p_cmp = c.Counters.comparisons;
+    p_hi = c.Counters.hash_inserts;
+    p_hp = c.Counters.hash_probes;
+    p_sc = c.Counters.sort_comparisons;
+  }
+
+let deltas sim s0 =
+  let c = sim.Tb_sim.Sim.counters in
+  {
+    Op.t_handles = c.Counters.handle_allocs - s0.p_ha;
+    t_pages_read = c.Counters.disk_reads - s0.p_dr;
+    t_pages_written = c.Counters.disk_writes - s0.p_dw;
+    t_get_atts = c.Counters.get_atts - s0.p_ga;
+    t_cmps = c.Counters.comparisons - s0.p_cmp;
+    t_hash_ops =
+      c.Counters.hash_inserts - s0.p_hi + c.Counters.hash_probes - s0.p_hp;
+    t_sort_cmps = c.Counters.sort_comparisons - s0.p_sc;
+    t_ms = Tb_sim.Clock.work_ms sim.Tb_sim.Sim.clock -. s0.p_ms;
+  }
+
 let run_explained db root ~keep =
   let sim = Database.sim db in
   Op.reset_frames root;
   let acct = Op.Acct.create sim root.Op.frame in
   let st = { db; acct } in
-  let c = sim.Tb_sim.Sim.counters in
-  let ms0 = Tb_sim.Clock.now_ms sim.Tb_sim.Sim.clock in
-  let dr0 = c.Counters.disk_reads
-  and dw0 = c.Counters.disk_writes
-  and ha0 = c.Counters.handle_allocs
-  and ga0 = c.Counters.get_atts
-  and cmp0 = c.Counters.comparisons
-  and hi0 = c.Counters.hash_inserts
-  and hp0 = c.Counters.hash_probes
-  and sc0 = c.Counters.sort_comparisons in
-  let result =
-    match root.Op.kind with
-    | Op.Materialize { child; aggregate } ->
-        let fr = root.Op.frame in
-        let result = Query_result.create ?aggregate sim ~keep in
-        iter_values st child (fun v ->
-            Op.Acct.enter st.acct fr;
-            fr.Op.rows_in <- fr.Op.rows_in + 1;
-            Query_result.append result v;
-            fr.Op.rows_out <- fr.Op.rows_out + 1);
-        Op.Acct.enter st.acct fr;
-        fr.Op.bytes <- Query_result.size_bytes result;
-        result
-    | _ -> invalid_arg "Exec: operator tree root must be Materialize"
-  in
+  let s0 = snapshot sim in
+  let result = drive_materialize st root ~keep in
   Op.Acct.flush acct;
-  let global =
-    {
-      Op.t_handles = c.Counters.handle_allocs - ha0;
-      t_pages_read = c.Counters.disk_reads - dr0;
-      t_pages_written = c.Counters.disk_writes - dw0;
-      t_get_atts = c.Counters.get_atts - ga0;
-      t_cmps = c.Counters.comparisons - cmp0;
-      t_hash_ops =
-        c.Counters.hash_inserts - hi0 + c.Counters.hash_probes - hp0;
-      t_sort_cmps = c.Counters.sort_comparisons - sc0;
-      t_ms = Tb_sim.Clock.now_ms sim.Tb_sim.Sim.clock -. ms0;
-    }
-  in
-  (result, global)
+  (result, deltas sim s0)
 
 let run db root ~keep = fst (run_explained db root ~keep)
+
+(* --- sharded execution ---
+
+   The root is a Gather over S Shard_lane subtrees.  Shard-local plans
+   (selections, navigation joins, sort-merge — sound because placement
+   colocates each provider with its patients) run one fork/join scope:
+   lane s drives shard s's Materialize subtree on shard s's clock lane,
+   then the join takes the max.  Exchange plans (the hash joins) run two
+   scopes with a barrier between them: phase A harvests both sides on
+   every source lane and routes rows by key hash through {!Exchange}
+   (shipping charged on the source's lane), the join is the all-to-all
+   barrier, then phase B builds and probes each destination's hash table
+   on the destination's lane.  The Gather runs after the final join on
+   the joined timeline: shipping each shard's partial result and the
+   ordered-merge comparisons are the modeled merge cost that bends the
+   speedup curve. *)
+
+type lane_report = {
+  lane_ms : float array;  (** per-shard busy time inside the fork scopes *)
+  merge_ms : float;  (** the Gather's own elapsed after the last join *)
+  elapsed_ms : float;  (** simulated elapsed of the whole run (max + merge) *)
+  critical : int;  (** the critical-path shard: argmax of [lane_ms] *)
+}
+
+(* The per-lane pieces of an exchange (hash-join) plan. *)
+type xlane = {
+  xl_shard : int;
+  xl_mat : Op.t;
+  xl_proj : Op.t;
+  xl_hp : Op.t;
+  xl_hb : Op.t;
+  xl_bex : Op.t;
+  xl_bharv : Op.t;
+  xl_pex : Op.t;
+  xl_pharv : Op.t;
+  xl_build_var : string;
+  xl_probe_var : string;
+}
+
+let exchange_parts lane =
+  match lane.Op.kind with
+  | Op.Shard_lane { child = mat; shard; _ } -> (
+      match mat.Op.kind with
+      | Op.Materialize { child = proj; _ } -> (
+          match proj.Op.kind with
+          | Op.Project { child = hp; _ } -> (
+              match hp.Op.kind with
+              | Op.Hash_probe { build = hb; probe = pex; build_var; probe_var; _ }
+                -> (
+                  match (hb.Op.kind, pex.Op.kind) with
+                  | ( Op.Hash_build { child = bex },
+                      Op.Exchange { child = pharv; _ } ) -> (
+                      match bex.Op.kind with
+                      | Op.Exchange { child = bharv; _ } ->
+                          Some
+                            {
+                              xl_shard = shard;
+                              xl_mat = mat;
+                              xl_proj = proj;
+                              xl_hp = hp;
+                              xl_hb = hb;
+                              xl_bex = bex;
+                              xl_bharv = bharv;
+                              xl_pex = pex;
+                              xl_pharv = pharv;
+                              xl_build_var = build_var;
+                              xl_probe_var = probe_var;
+                            }
+                      | _ -> None)
+                  | _ -> None)
+              | _ -> None)
+          | _ -> None)
+      | _ -> None)
+  | _ -> None
+
+(* Phase B of an exchange plan: build the destination's table from the
+   routed build rows, probe with the routed probe rows, project and
+   materialize on this lane. *)
+let run_exchange_dest acct db xl ~keep ~(bx : (Rid.t * Op.payload) Exchange.t)
+    ~(px : (Rid.t * Op.payload) Exchange.t) =
+  let sim = Database.sim db in
+  let hb_fr = xl.xl_hb.Op.frame in
+  let hp_fr = xl.xl_hp.Op.frame in
+  let proj_fr = xl.xl_proj.Op.frame in
+  let mat_fr = xl.xl_mat.Op.frame in
+  let select, aggregate =
+    match (xl.xl_proj.Op.kind, xl.xl_mat.Op.kind) with
+    | Op.Project { select; _ }, Op.Materialize { aggregate; _ } ->
+        (select, aggregate)
+    | _ -> assert false
+  in
+  let table : Op.payload Mem_hash.t = Mem_hash.create sim in
+  Fun.protect
+    ~finally:(fun () ->
+      hb_fr.Op.bytes <- max hb_fr.Op.bytes (Mem_hash.size_bytes table);
+      Mem_hash.dispose table)
+    (fun () ->
+      Op.Acct.enter acct hb_fr;
+      List.iter
+        (fun (key, payload) ->
+          hb_fr.Op.rows_in <- hb_fr.Op.rows_in + 1;
+          Mem_hash.add table ~key
+            ~payload_bytes:(Operators.payload_bytes payload)
+            payload)
+        (Exchange.take bx ~dest:xl.xl_shard);
+      Exchange.release_dest bx ~dest:xl.xl_shard;
+      let result = Query_result.create ?aggregate sim ~keep in
+      Op.Acct.enter acct hp_fr;
+      List.iter
+        (fun (key, pl) ->
+          hp_fr.Op.rows_in <- hp_fr.Op.rows_in + 1;
+          List.iter
+            (fun bp ->
+              hp_fr.Op.rows_out <- hp_fr.Op.rows_out + 1;
+              Op.Acct.enter acct proj_fr;
+              proj_fr.Op.rows_in <- proj_fr.Op.rows_in + 1;
+              let lookup v =
+                if String.equal v xl.xl_build_var then Op.Stored bp
+                else if String.equal v xl.xl_probe_var then Op.Stored pl
+                else invalid_arg ("Exec: unknown var " ^ v)
+              in
+              let v = Operators.eval_select db select ~lookup in
+              proj_fr.Op.rows_out <- proj_fr.Op.rows_out + 1;
+              Op.Acct.enter acct mat_fr;
+              mat_fr.Op.rows_in <- mat_fr.Op.rows_in + 1;
+              Query_result.append result v;
+              mat_fr.Op.rows_out <- mat_fr.Op.rows_out + 1;
+              Op.Acct.enter acct hp_fr)
+            (Mem_hash.find table ~key))
+        (Exchange.take px ~dest:xl.xl_shard);
+      Exchange.release_dest px ~dest:xl.xl_shard;
+      Op.Acct.enter acct mat_fr;
+      mat_fr.Op.bytes <- Query_result.size_bytes result;
+      result)
+
+let run_sharded_explained smap root ~keep =
+  let sim = Tb_store.Shard_map.sim smap in
+  let clock = sim.Tb_sim.Sim.clock in
+  Op.reset_frames root;
+  let lanes, shards, ordered, gfr =
+    match root.Op.kind with
+    | Op.Gather { lanes; shards; ordered; _ } ->
+        (lanes, shards, ordered, root.Op.frame)
+    | _ -> invalid_arg "Exec: sharded operator tree root must be Gather"
+  in
+  if Array.length lanes <> shards then
+    invalid_arg "Exec: Gather lane count does not match shard count";
+  let acct = Op.Acct.create sim gfr in
+  let s0 = snapshot sim in
+  let now0 = Tb_sim.Clock.now_ms clock in
+  let lane_ms = Array.make shards 0.0 in
+  let xls = Array.map exchange_parts lanes in
+  let partials =
+    if Array.for_all Option.is_some xls then begin
+      (* Exchange plan: phase A routes both sides source-by-source, the
+         join is the all-to-all barrier, phase B joins per destination. *)
+      let xls = Array.map Option.get xls in
+      let bx : (Rid.t * Op.payload) Exchange.t = Exchange.create sim ~shards in
+      let px : (Rid.t * Op.payload) Exchange.t = Exchange.create sim ~shards in
+      Fun.protect
+        ~finally:(fun () ->
+          Exchange.dispose bx;
+          Exchange.dispose px)
+        (fun () ->
+          let scope_a = Tb_sim.Clock.fork clock ~lanes:shards in
+          Array.iteri
+            (fun i xl ->
+              Tb_sim.Clock.enter_lane scope_a i;
+              let st =
+                { db = Tb_store.Shard_map.shard smap xl.xl_shard; acct }
+              in
+              let route (ex : Op.t) harv =
+                let ex_fr = ex.Op.frame in
+                let buf =
+                  match ex == xl.xl_bex with true -> bx | false -> px
+                in
+                iter_kvs st harv (fun (key, payload) ->
+                    Op.Acct.enter acct ex_fr;
+                    ex_fr.Op.rows_in <- ex_fr.Op.rows_in + 1;
+                    let key = Exchange.retag ~shard:xl.xl_shard key in
+                    ex_fr.Op.rows_out <- ex_fr.Op.rows_out + 1;
+                    Exchange.send buf ~dest:(Exchange.dest_of buf key)
+                      ~bytes:(Operators.payload_bytes payload + Rid.on_disk_bytes)
+                      (key, payload));
+                Op.Acct.enter acct ex_fr;
+                Exchange.flush_source buf
+              in
+              route xl.xl_bex xl.xl_bharv;
+              route xl.xl_pex xl.xl_pharv)
+            xls;
+          Tb_sim.Clock.join scope_a;
+          let scope_b = Tb_sim.Clock.fork clock ~lanes:shards in
+          let partials =
+            Array.mapi
+              (fun i xl ->
+                Tb_sim.Clock.enter_lane scope_b i;
+                let db = Tb_store.Shard_map.shard smap xl.xl_shard in
+                run_exchange_dest acct db xl ~keep ~bx ~px)
+              xls
+          in
+          Array.iteri
+            (fun i _ ->
+              lane_ms.(i) <-
+                Tb_sim.Clock.lane_ms scope_a i +. Tb_sim.Clock.lane_ms scope_b i)
+            lane_ms;
+          Tb_sim.Clock.join scope_b;
+          partials)
+    end
+    else begin
+      (* Shard-local plan: one scope, each lane drives its own subtree. *)
+      let scope = Tb_sim.Clock.fork clock ~lanes:shards in
+      let partials =
+        Array.mapi
+          (fun i lane ->
+            match lane.Op.kind with
+            | Op.Shard_lane { child; shard; _ } ->
+                Tb_sim.Clock.enter_lane scope i;
+                let st = { db = Tb_store.Shard_map.shard smap shard; acct } in
+                let r = drive_materialize st child ~keep in
+                let lfr = lane.Op.frame in
+                lfr.Op.rows_out <- Query_result.count r;
+                r
+            | _ -> invalid_arg "Exec: Gather lanes must be Shard_lane")
+          lanes
+      in
+      Array.iteri
+        (fun i _ -> lane_ms.(i) <- Tb_sim.Clock.lane_ms scope i)
+        lane_ms;
+      Tb_sim.Clock.join scope;
+      partials
+    end
+  in
+  (* The gather itself, on the joined timeline: ship every shard's partial
+     to the coordinator, merge charge-free ([Query_result.absorb]), and
+     pay the tournament comparisons when order must be preserved. *)
+  Op.Acct.enter acct gfr;
+  let merge0 = Tb_sim.Clock.now_ms clock in
+  let total = partials.(0) in
+  Array.iteri
+    (fun i p ->
+      gfr.Op.rows_in <- gfr.Op.rows_in + Query_result.rows_seen p;
+      Exchange.ship_partial sim ~bytes:(Query_result.size_bytes p);
+      if i > 0 then Query_result.absorb total p)
+    partials;
+  if ordered then
+    Exchange.merge_ordered sim ~rows:(Query_result.rows_seen total)
+      ~streams:shards;
+  gfr.Op.rows_out <- Query_result.count total;
+  gfr.Op.bytes <- Query_result.size_bytes total;
+  Op.Acct.flush acct;
+  let now1 = Tb_sim.Clock.now_ms clock in
+  let critical = ref 0 in
+  Array.iteri
+    (fun i ms -> if ms > lane_ms.(!critical) then critical := i)
+    lane_ms;
+  ( total,
+    deltas sim s0,
+    {
+      lane_ms;
+      merge_ms = now1 -. merge0;
+      elapsed_ms = now1 -. now0;
+      critical = !critical;
+    } )

@@ -22,3 +22,25 @@ val run : Tb_store.Database.t -> Op.t -> keep:bool -> Query_result.t
     afterwards: per-operator frames sum exactly to these totals. *)
 val run_explained :
   Tb_store.Database.t -> Op.t -> keep:bool -> Query_result.t * Op.totals
+
+(** How the simulated parallelism of one sharded run unfolded. *)
+type lane_report = {
+  lane_ms : float array;  (** per-shard busy time inside the fork scopes *)
+  merge_ms : float;  (** the Gather's own elapsed after the last join *)
+  elapsed_ms : float;  (** simulated elapsed of the whole run (max + merge) *)
+  critical : int;  (** the critical-path shard: argmax of [lane_ms] *)
+}
+
+(** [run_sharded_explained smap root ~keep] executes a sharded tree — an
+    {!Op.Gather} over S {!Op.Shard_lane} subtrees, as built by
+    [Planner.lower ~shards] — against the shard map.  Shard-local subtrees
+    run in one fork/join clock scope (simulated elapsed = max over lanes);
+    hash-join plans with {!Op.Exchange} children run two scopes with an
+    all-to-all barrier between the route and the build/probe phase.  The
+    returned totals are work totals ([Op.reconciles] holds against them);
+    the lane report carries the elapsed-time story. *)
+val run_sharded_explained :
+  Tb_store.Shard_map.t ->
+  Op.t ->
+  keep:bool ->
+  Query_result.t * Op.totals * lane_report

@@ -95,6 +95,15 @@ type kind =
   | Merge of { left : t; right : t; left_var : string; right_var : string }
   | Project of { child : t; select : Oql_ast.expr }
   | Materialize of { child : t; aggregate : Oql_ast.agg option }
+  | Shard_lane of { child : t; shard : int; shards : int }
+      (** one shard's subplan: everything under it runs on that shard's
+          clock lane *)
+  | Exchange of { child : t; shards : int; part_key : string }
+      (** hash-repartition the child's (key, payload) stream across shard
+          lanes; charges the page-batched shipping RPCs *)
+  | Gather of { lanes : t array; shards : int; part_key : string; ordered : bool }
+      (** merge N shard lanes after the join point; order-preserving
+          (streamed merge on the sort key) when [ordered] *)
 
 and t = { kind : kind; frame : frame }
 
@@ -127,10 +136,13 @@ let children node =
   | Spill_partition { child; _ }
   | Sort { child }
   | Project { child; _ }
-  | Materialize { child; _ } ->
+  | Materialize { child; _ }
+  | Shard_lane { child; _ }
+  | Exchange { child; _ } ->
       [ child ]
   | Hash_probe { build; probe; _ } -> [ build; probe ]
   | Merge { left; right; _ } -> [ left; right ]
+  | Gather { lanes; _ } -> Array.to_list lanes
 
 let rec iter f node =
   f node;
@@ -169,6 +181,9 @@ let opcode node =
   | Merge _ -> "merge"
   | Project _ -> "project"
   | Materialize _ -> "materialize"
+  | Shard_lane _ -> "shard_lane"
+  | Exchange _ -> "exchange"
+  | Gather _ -> "gather"
 
 let key_name = function
   | K_self -> "self"
@@ -213,6 +228,13 @@ let label node =
   | Materialize { aggregate = None; _ } -> "materialize"
   | Materialize { aggregate = Some a; _ } ->
       Printf.sprintf "aggregate(%s)" (Oql_ast.agg_name a)
+  | Shard_lane { shard; shards; _ } ->
+      Printf.sprintf "shard[%d/%d]" shard shards
+  | Exchange { shards; part_key; _ } ->
+      Printf.sprintf "exchange(shards=%d, key=%s)" shards part_key
+  | Gather { shards; part_key; ordered; _ } ->
+      Printf.sprintf "gather(shards=%d, key=%s, %s)" shards part_key
+        (if ordered then "ordered" else "unordered")
 
 let pp_tree ppf node =
   let rec go indent n =
@@ -326,7 +348,12 @@ module Acct = struct
     mutable s_sc : int;
   }
 
-  let now_ms sim = Tb_sim.Clock.now_ms sim.Sim.clock
+  (* Attribution reads [work_ms], not [now_ms]: inside a fork/join scope
+     the elapsed clock jumps backwards and forwards as the executor
+     switches shard lanes, but total work only ever grows — and outside a
+     scope the two fields are bit-identical, so unsharded explain output
+     is unchanged. *)
+  let now_ms sim = Tb_sim.Clock.work_ms sim.Sim.clock
 
   let create sim frame =
     let c = sim.Sim.counters in

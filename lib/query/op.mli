@@ -102,6 +102,19 @@ type kind =
   | Merge of { left : t; right : t; left_var : string; right_var : string }
   | Project of { child : t; select : Oql_ast.expr }
   | Materialize of { child : t; aggregate : Oql_ast.agg option }
+  | Shard_lane of { child : t; shard : int; shards : int }
+      (** one shard's subplan, run on that shard's clock lane *)
+  | Exchange of { child : t; shards : int; part_key : string }
+      (** hash-repartition the child's rows across shard lanes *)
+  | Gather of {
+      lanes : t array;
+      shards : int;
+      part_key : string;
+      ordered : bool;
+    }
+      (** merge N shard lanes; order-preserving for sorted inputs.  The
+          merge loop itself never charges — shipping and merge comparisons
+          are charged at this node by the executor. *)
 
 and t = { kind : kind; frame : frame }
 

@@ -317,33 +317,44 @@ let require_inv = function
            "this algorithm navigates child-to-parent but the schema declares \
             no inverse reference")
 
+let make_finish ~select ~aggregate env_op =
+  Op.make
+    (Op.Materialize
+       { child = Op.make (Op.Project { child = env_op; select }); aggregate })
+
+(* A Fetch that binds [var] to each surviving object of [access].  The
+   covering shortcut — skip Handles entirely when the access path
+   absorbed every predicate and the query only uses the object's
+   identity — is only sound for selections; join sides always need
+   attribute or set access.  The packed mode is chosen from the residual
+   predicates alone ({!Packed.compilable}), keeping lowering pure. *)
+let make_fetch ~packed ~batch ?(covering = false) access ~cls ~var =
+  let preds = access_preds access in
+  let mode =
+    if packed && Packed.compilable preds then Op.Packed else Op.Handle
+  in
+  Op.make
+    (Op.Fetch { child = lower_access access; cls; var; preds; covering; mode; batch })
+
+(* Keys and payload prefixes are always packed-compilable; [~mode] is
+   forced to Handle for hybrid probe-side harvests, which the hybrid
+   driver evaluates through the Handle kernels. *)
+let make_harvest ~packed ?mode side ~key ~cls ~var select =
+  let mode =
+    match mode with
+    | Some m -> m
+    | None -> if packed then Op.Packed else Op.Handle
+  in
+  let attrs, _self = Plan.needed_attrs var select in
+  Op.make (Op.Harvest { child = side; key; cls; attrs; mode })
+
 let lower ?(packed = true) ?(batch = 256) plan =
-  let finish ~select ~aggregate env_op =
-    Op.make
-      (Op.Materialize
-         { child = Op.make (Op.Project { child = env_op; select }); aggregate })
+  let finish = make_finish in
+  let fetch ?covering access ~cls ~var =
+    make_fetch ~packed ~batch ?covering access ~cls ~var
   in
-  (* A Fetch that binds [var] to each surviving object of [access].  The
-     covering shortcut — skip Handles entirely when the access path
-     absorbed every predicate and the query only uses the object's
-     identity — is only sound for selections; join sides always need
-     attribute or set access.  The packed mode is chosen from the residual
-     predicates alone ({!Packed.compilable}), keeping lowering pure. *)
-  let fetch ?(covering = false) access ~cls ~var =
-    let preds = access_preds access in
-    let mode =
-      if packed && Packed.compilable preds then Op.Packed else Op.Handle
-    in
-    Op.make
-      (Op.Fetch { child = lower_access access; cls; var; preds; covering; mode; batch })
-  in
-  (* Keys and payload prefixes are always packed-compilable; [~mode] is
-     forced to Handle for hybrid probe-side harvests, which the hybrid
-     driver evaluates through the Handle kernels. *)
-  let harvest ?(mode = if packed then Op.Packed else Op.Handle) side ~key ~cls
-      ~var select =
-    let attrs, _self = Plan.needed_attrs var select in
-    Op.make (Op.Harvest { child = side; key; cls; attrs; mode })
+  let harvest ?mode side ~key ~cls ~var select =
+    make_harvest ~packed ?mode side ~key ~cls ~var select
   in
   match plan with
   | Plan.Selection { var; cls; access; select; aggregate } ->
@@ -503,6 +514,147 @@ let lower ?(packed = true) ?(batch = 256) plan =
                     right_var = child_var;
                   })))
 
+(* --- sharded lowering: Plan.t -> Gather over per-shard subtrees --- *)
+
+module Shard_map = Tb_store.Shard_map
+
+(* The logical plan is made against shard 0, whose Index_def values name
+   shard 0's B-trees; every shard replicates the same index set, so the
+   per-shard subtree swaps in its own catalog entry by (class, attribute).
+   Still pure plan surgery: [Database.find_index] is a catalog lookup and
+   never touches pages. *)
+let remap_access db access =
+  match access with
+  | Plan.Seq_scan _ -> access
+  | Plan.Index_scan { index; lo; hi; sorted; residual } -> (
+      match
+        Database.find_index db ~cls:index.Index_def.cls
+          ~attr:index.Index_def.attr
+      with
+      | Some index -> Plan.Index_scan { index; lo; hi; sorted; residual }
+      | None ->
+          invalid_arg
+            ("Planner: shard is missing replicated index " ^ index.Index_def.name))
+
+let remap_plan db = function
+  | Plan.Selection ({ access; _ } as r) ->
+      Plan.Selection { r with access = remap_access db access }
+  | Plan.Hier_join ({ parent_access; child_access; _ } as r) ->
+      Plan.Hier_join
+        {
+          r with
+          parent_access = remap_access db parent_access;
+          child_access = remap_access db child_access;
+        }
+
+let key_name = function Op.K_self -> "self" | Op.K_inverse a -> a
+
+(* One shard's lane of an exchange (hash-join) plan: both sides harvested
+   locally, routed through Exchange by retagged join key, rebuilt and
+   probed on the destination.  PHHJ/CHHJ degenerate to their in-memory
+   cousins — repartitioning already splits the build side S ways, which is
+   exactly the memory-pressure relief the spill partitions bought. *)
+let hash_lane ~packed ~batch ~shards ~shard plan_s =
+  match plan_s with
+  | Plan.Hier_join
+      {
+        algo;
+        parent_var;
+        parent_cls;
+        child_var;
+        child_cls;
+        inv_attr;
+        parent_access;
+        child_access;
+        select;
+        aggregate;
+        _;
+      } ->
+      let parent_harvest =
+        make_harvest ~packed
+          (make_fetch ~packed ~batch parent_access ~cls:parent_cls
+             ~var:parent_var)
+          ~key:Op.K_self ~cls:parent_cls ~var:parent_var select
+      in
+      let child_harvest =
+        make_harvest ~packed
+          (make_fetch ~packed ~batch child_access ~cls:child_cls ~var:child_var)
+          ~key:(Op.K_inverse (require_inv inv_attr))
+          ~cls:child_cls ~var:child_var select
+      in
+      let build, probe, probe_key, probe_cls, build_var, probe_var =
+        match algo with
+        | Plan.PHJ | Plan.PHHJ ->
+            ( parent_harvest,
+              child_harvest,
+              Op.K_inverse (require_inv inv_attr),
+              child_cls,
+              parent_var,
+              child_var )
+        | Plan.CHJ | Plan.CHHJ ->
+            (child_harvest, parent_harvest, Op.K_self, parent_cls, child_var, parent_var)
+        | Plan.NL | Plan.NOJOIN | Plan.SMJ -> assert false
+      in
+      let exchange harv =
+        let part_key =
+          key_name
+            (match harv.Op.kind with
+            | Op.Harvest { key; _ } -> key
+            | _ -> assert false)
+        in
+        Op.make (Op.Exchange { child = harv; shards; part_key })
+      in
+      Op.make
+        (Op.Shard_lane
+           {
+             child =
+               make_finish ~select ~aggregate
+                 (Op.make
+                    (Op.Hash_probe
+                       {
+                         build =
+                           Op.make (Op.Hash_build { child = exchange build });
+                         probe = exchange probe;
+                         probe_key;
+                         probe_cls;
+                         build_var;
+                         probe_var;
+                       }));
+             shard;
+             shards;
+           })
+  | Plan.Selection _ -> assert false
+
+(* [lower_sharded smap plan] rewrites the plan into per-shard subtrees
+   under a Gather root.  With a single shard this is exactly [lower]: no
+   Gather, no Shard_lane — the one-shard engine is the unsharded engine by
+   construction, which is what keeps the golden fingerprint byte-identical
+   at S=1. *)
+let lower_sharded ?(packed = true) ?(batch = 256) smap plan =
+  let shards = Shard_map.count smap in
+  if shards = 1 then lower ~packed ~batch (remap_plan (Shard_map.shard smap 0) plan)
+  else
+    let ordered =
+      match plan with
+      | Plan.Selection { access = Plan.Index_scan { sorted = true; _ }; _ } ->
+          true
+      | _ -> false
+    in
+    let lanes =
+      Array.init shards (fun s ->
+          let plan_s = remap_plan (Shard_map.shard smap s) plan in
+          match plan_s with
+          | Plan.Hier_join
+              { algo = Plan.PHJ | Plan.CHJ | Plan.PHHJ | Plan.CHHJ; _ } ->
+              hash_lane ~packed ~batch ~shards ~shard:s plan_s
+          | _ ->
+              Op.make
+                (Op.Shard_lane
+                   { child = lower ~packed ~batch plan_s; shard = s; shards }))
+    in
+    Op.make
+      (Op.Gather { lanes; shards; part_key = Shard_map.key_attr smap; ordered })
+
 let run ?mode ?organization ?force_algo ?force_sorted ?force_seq ?packed ?batch
     ?(keep = false) db text =
   let q = Oql_parser.parse text in
@@ -516,3 +668,35 @@ let run_explained ?mode ?organization ?force_algo ?force_sorted ?force_seq
   let root = lower ?packed ?batch p in
   let result, global = Exec.run_explained db root ~keep in
   (result, root, global)
+
+(* Planning happens against shard 0: every shard replicates the schema and
+   index set, and shard-0 statistics (1/S of the data) rank algorithms the
+   same way the global statistics do for our uniform generators. *)
+let run_sharded_explained ?mode ?organization ?force_algo ?force_sorted
+    ?force_seq ?packed ?batch ?(keep = false) smap text =
+  let db0 = Shard_map.shard smap 0 in
+  let q = Oql_parser.parse text in
+  let p = plan ?mode ?organization ?force_algo ?force_sorted ?force_seq db0 q in
+  let root = lower_sharded ?packed ?batch smap p in
+  if Shard_map.count smap = 1 then
+    let result, global = Exec.run_explained db0 root ~keep in
+    ( result,
+      root,
+      global,
+      {
+        Exec.lane_ms = [| global.Op.t_ms |];
+        merge_ms = 0.0;
+        elapsed_ms = global.Op.t_ms;
+        critical = 0;
+      } )
+  else
+    let result, global, lanes = Exec.run_sharded_explained smap root ~keep in
+    (result, root, global, lanes)
+
+let run_sharded ?mode ?organization ?force_algo ?force_sorted ?force_seq
+    ?packed ?batch ?keep smap text =
+  let result, _, _, _ =
+    run_sharded_explained ?mode ?organization ?force_algo ?force_sorted
+      ?force_seq ?packed ?batch ?keep smap text
+  in
+  result

@@ -82,3 +82,46 @@ val run_explained :
   Tb_store.Database.t ->
   string ->
   Query_result.t * Op.t * Op.totals
+
+(** [lower_sharded smap plan] rewrites [plan] into per-shard subtrees
+    under an {!Op.Gather} root.  Shard-local algorithms (selections, NL,
+    NOJOIN, SMJ — sound because placement colocates each provider with its
+    patients) get one plain subtree per shard; hash joins get both sides
+    harvested locally and routed through {!Op.Exchange} by retagged join
+    key (PHHJ/CHHJ degenerate to PHJ/CHJ: repartitioning already splits
+    the build side S ways).  Index accesses are remapped to each shard's
+    replicated catalog entry.  With a single shard this returns exactly
+    [lower plan] — no Gather, no Shard_lane — so the S=1 engine is the
+    unsharded engine by construction. *)
+val lower_sharded : ?packed:bool -> ?batch:int -> Tb_store.Shard_map.t -> Plan.t -> Op.t
+
+(** Parse, plan (against shard 0) and execute across the shard map. *)
+val run_sharded :
+  ?mode:mode ->
+  ?organization:Estimate.organization ->
+  ?force_algo:Plan.join_algo ->
+  ?force_sorted:bool ->
+  ?force_seq:bool ->
+  ?packed:bool ->
+  ?batch:int ->
+  ?keep:bool ->
+  Tb_store.Shard_map.t ->
+  string ->
+  Query_result.t
+
+(** Like {!run_sharded}, but also returns the executed tree (per-shard
+    frames populated), the global work totals ([Op.reconciles] holds), and
+    the {!Exec.lane_report} with per-shard elapsed and the critical-path
+    shard.  At S=1 the report is a single lane equal to the run's total. *)
+val run_sharded_explained :
+  ?mode:mode ->
+  ?organization:Estimate.organization ->
+  ?force_algo:Plan.join_algo ->
+  ?force_sorted:bool ->
+  ?force_seq:bool ->
+  ?packed:bool ->
+  ?batch:int ->
+  ?keep:bool ->
+  Tb_store.Shard_map.t ->
+  string ->
+  Query_result.t * Op.t * Op.totals * Exec.lane_report

@@ -112,6 +112,55 @@ let append t v =
         Tb_sim.Sim.release_bytes t.sim bytes
       else t.resident_bytes <- t.resident_bytes + bytes
 
+(* Merge a partial (per-shard) result into [t] without re-paying per-row
+   construction: the rows were already built — and charged — by the shard
+   that produced them; the gather operator charges their shipping
+   separately.  Charge-free bookkeeping only, enforced by treelint's rule
+   that the merge loop may not charge. *)
+let absorb t src =
+  if t.disposed then invalid_arg "Query_result.absorb: disposed";
+  if src.disposed then invalid_arg "Query_result.absorb: source disposed";
+  if t == src then invalid_arg "Query_result.absorb: self";
+  (match (t.mode, src.mode) with
+  | Materialize, Materialize ->
+      t.bytes <- t.bytes + src.bytes;
+      if t.keep then t.kept <- src.kept @ t.kept
+      else begin
+        let have = List.length t.sample in
+        if have < sample_size then begin
+          let take = ref (sample_size - have) in
+          List.iter
+            (fun v ->
+              if !take > 0 then begin
+                t.sample <- v :: t.sample;
+                decr take
+              end)
+            (List.rev src.sample)
+        end
+      end
+  | Fold (agg_t, acc_t), Fold (agg_s, acc_s) when agg_t = agg_s ->
+      acc_t.n <- acc_t.n + acc_s.n;
+      acc_t.sum <- acc_t.sum +. acc_s.sum;
+      acc_t.saw_real <- acc_t.saw_real || acc_s.saw_real;
+      let merge_bound cmp cur incoming =
+        match (cur, incoming) with
+        | _, None -> cur
+        | None, some -> some
+        | Some m, Some v -> if Oql_ast.eval_cmp cmp v m then incoming else cur
+      in
+      acc_t.minv <- merge_bound Oql_ast.Lt acc_t.minv acc_s.minv;
+      acc_t.maxv <- merge_bound Oql_ast.Gt acc_t.maxv acc_s.maxv
+  | _ -> invalid_arg "Query_result.absorb: incompatible result modes");
+  t.count <- t.count + src.count;
+  (* The source's resident claim transfers: both results account against
+     the same simulation, so nothing is claimed or released here — [t]'s
+     dispose now covers it. *)
+  t.resident_bytes <- t.resident_bytes + src.resident_bytes;
+  src.resident_bytes <- 0;
+  src.disposed <- true;
+  src.kept <- [];
+  src.sample <- []
+
 let aggregate_value agg acc =
   match agg with
   | Oql_ast.Count -> Some (Value.Int acc.n)

@@ -26,6 +26,14 @@ val create :
     [sum]/[avg]/[min]/[max], or on a disposed result. *)
 val append : t -> Tb_store.Value.t -> unit
 
+(** [absorb t src] merges a partial (per-shard) result into [t] and
+    retires [src] (it becomes disposed; its resident memory claim
+    transfers to [t]).  Charge-free: the rows were built — and paid for —
+    by the shard that produced them; the gather operator charges their
+    shipping separately.  Raises [Invalid_argument] when either result is
+    disposed, [t == src], or the modes/aggregates differ. *)
+val absorb : t -> t -> unit
+
 (** Rows materialized, or the single aggregate row (0 while no row has been
     folded and the aggregate is undefined, 1 otherwise; [count] is always
     defined). *)

@@ -694,14 +694,16 @@ let bulk_add t run =
     let cmp_us = sim_.Tb_sim.Sim.cost.Tb_sim.Cost_model.compare_us in
     let hit () =
       ctr.Tb_sim.Counters.client_hits <- ctr.Tb_sim.Counters.client_hits + 1;
-      clk.Tb_sim.Clock.now_ms <- clk.Tb_sim.Clock.now_ms +. hit_ms
+      clk.Tb_sim.Clock.now_ms <- clk.Tb_sim.Clock.now_ms +. hit_ms;
+      clk.Tb_sim.Clock.work_ms <- clk.Tb_sim.Clock.work_ms +. hit_ms
     in
     let cmps n =
       if n > 0 then begin
         ctr.Tb_sim.Counters.comparisons <-
           ctr.Tb_sim.Counters.comparisons + n;
-        clk.Tb_sim.Clock.now_ms <-
-          clk.Tb_sim.Clock.now_ms +. (float_of_int n *. cmp_us /. 1000.0)
+        let ms = float_of_int n *. cmp_us /. 1000.0 in
+        clk.Tb_sim.Clock.now_ms <- clk.Tb_sim.Clock.now_ms +. ms;
+        clk.Tb_sim.Clock.work_ms <- clk.Tb_sim.Clock.work_ms +. ms
       end
     in
     (* Rightmost-path state, rebuilt charge-free after every real insert.

@@ -1,0 +1,58 @@
+(* Horizontal partitioning: S databases, one simulated machine.
+
+   Each shard is a full [Database.t] — its own heap files, buffer pools,
+   WAL and indexes — sharing one [Sim.t], so charges from every shard land
+   in the same global counters and the same clock.  Simulated parallelism
+   is the executor's business (it wraps shard work in [Clock.fork]/[join]
+   scopes); the map itself only owns placement: a deterministic salted
+   hash from partition-key values to shard numbers.
+
+   The salt comes from a private [Rng] seeded from the generator seed —
+   private, because drawing it from the shared simulation RNG would
+   perturb the generated data and break the S=1 ⇔ unsharded bit-identity
+   the parity suite pins. *)
+
+type t = {
+  sim : Tb_sim.Sim.t;
+  salt : int;
+  key_attr : string;
+  shards : Database.t array;
+}
+
+let create sim ~schema ~shards ~server_pages ~client_pages ?handle_kind
+    ?zombie_limit ?txn_mode ~key_attr ~seed () =
+  if shards <= 0 then invalid_arg "Shard_map.create: shards must be positive";
+  (* One machine's worth of cache, divided: sharding partitions the buffer
+     pool, it does not grow it. *)
+  let per_shard pages = max 2 (pages / shards) in
+  let dbs =
+    Array.init shards (fun _ ->
+        Database.create sim ~schema ~server_pages:(per_shard server_pages)
+          ~client_pages:(per_shard client_pages) ?handle_kind ?zombie_limit
+          ?txn_mode ())
+  in
+  let salt = Tb_sim.Rng.int (Tb_sim.Rng.create seed) 0x4000_0000 in
+  { sim; salt; key_attr; shards = dbs }
+
+let count t = Array.length t.shards
+
+let shard t i =
+  if i < 0 || i >= Array.length t.shards then
+    invalid_arg "Shard_map.shard: index out of range";
+  t.shards.(i)
+
+let sim t = t.sim
+let key_attr t = t.key_attr
+let salt t = t.salt
+
+(* Fibonacci-style multiplicative mix of the salted key: cheap, stateless,
+   and spreads consecutive provider ids evenly across shards. *)
+let shard_of_key t key =
+  if Array.length t.shards = 1 then 0
+  else
+    let h = (key lxor t.salt) * 0x2545F491 land max_int in
+    h mod Array.length t.shards
+
+let iter t f = Array.iteri f t.shards
+let cold_restart t = Array.iter Database.cold_restart t.shards
+let commit t = Array.iter Database.commit t.shards

@@ -1,0 +1,59 @@
+(** Horizontal partitioning: S full databases behind one simulation.
+
+    A shard map owns S {!Database.t} instances — each with its own heap
+    files, buffer pools, WAL and indexes — all charging the one shared
+    {!Tb_sim.Sim.t}.  Placement is a deterministic salted hash on the
+    partition key ([shard_of_key]); the salt is drawn from a private
+    {!Tb_sim.Rng} seeded by the caller so placement never consumes draws
+    from (or perturbs) the data-generation RNG.
+
+    Simulated parallelism lives in the executor's {!Tb_sim.Clock} fork/join
+    scopes, not here: the map is pure placement and lifecycle. *)
+
+type t
+
+(** [create sim ~schema ~shards ~server_pages ~client_pages ~key_attr ~seed ()]
+    builds [shards] databases over [sim].  The page budgets are one
+    machine's worth and are divided evenly across shards (floor, min 2) —
+    sharding partitions the cache, it does not grow it.  [key_attr] names
+    the attribute whose hash places an object ("upin" for Derby).  Raises
+    [Invalid_argument] when [shards <= 0]. *)
+val create :
+  Tb_sim.Sim.t ->
+  schema:Schema.t ->
+  shards:int ->
+  server_pages:int ->
+  client_pages:int ->
+  ?handle_kind:Tb_sim.Cost_model.handle_kind ->
+  ?zombie_limit:int ->
+  ?txn_mode:Transaction.mode ->
+  key_attr:string ->
+  seed:int ->
+  unit ->
+  t
+
+val count : t -> int
+
+(** [shard t i] is shard [i]; raises [Invalid_argument] out of range. *)
+val shard : t -> int -> Database.t
+
+val sim : t -> Tb_sim.Sim.t
+
+(** The partition-key attribute name chosen at [create]. *)
+val key_attr : t -> string
+
+(** The placement salt (exposed so plan labels can print a stable id). *)
+val salt : t -> int
+
+(** [shard_of_key t k] maps a partition-key value to its shard number.
+    Always [0] when [count t = 1]. *)
+val shard_of_key : t -> int -> int
+
+(** [iter t f] runs [f i db] over shards in index order. *)
+val iter : t -> (int -> Database.t -> unit) -> unit
+
+(** Per-shard {!Database.cold_restart}, in shard order. *)
+val cold_restart : t -> unit
+
+(** Per-shard {!Database.commit}, in shard order. *)
+val commit : t -> unit

@@ -45,10 +45,26 @@ let test_back_to_back_runs_identical () =
     (fun want have -> Alcotest.(check string) "fingerprint line" want have)
     first second
 
+(* The sharded engine at S=1 must be the unsharded engine, bit for bit:
+   one-shard sharded runs of the selection workload reproduce the golden
+   file's "sel " lines byte-identically — same build charge stream, same
+   plans (no Gather/Shard_lane at S=1), same clock bits. *)
+let test_sharded_s1_matches_golden () =
+  let is_sel l = String.length l >= 4 && String.equal (String.sub l 0 4) "sel " in
+  let golden = List.filter is_sel (read_lines golden_file) in
+  let got = Tb_core.Fingerprint.sharded_selection_lines ~shards:1 ~scale:40 () in
+  Alcotest.(check int) "selection line count" (List.length golden)
+    (List.length got);
+  List.iter2
+    (fun want have -> Alcotest.(check string) "S=1 sharded line" want have)
+    golden got
+
 let suite =
   [
     Alcotest.test_case "counters: golden fingerprint (scale 40)" `Slow
       test_counters_match_golden;
     Alcotest.test_case "counters: back-to-back runs are identical" `Slow
       test_back_to_back_runs_identical;
+    Alcotest.test_case "counters: S=1 sharded engine matches golden" `Slow
+      test_sharded_s1_matches_golden;
   ]

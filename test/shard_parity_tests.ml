@@ -1,0 +1,261 @@
+(* Sharded-execution parity: the full algorithm × access-path matrix on
+   twin databases.
+
+   Two layers of guarantees, mirroring [Parity_tests] for PR 6's knobs:
+
+   - S=1 is the unsharded engine, bit for bit.  A one-shard build replays
+     the same charge stream as [Generator.build], and every query in the
+     matrix produces the same rows, the same counter totals, a
+     bit-identical clock, the same peak memory and the same per-operator
+     frames as the plain engine on a twin database.
+
+   - S=4 computes the same answer.  Result multisets are identical to the
+     one-shard run, and the per-shard frames reconcile exactly (to the
+     integer) against the global counter deltas.  Counter *totals* are not
+     asserted equal across S: partitioning genuinely changes the physics —
+     each shard pays its own partial tail pages, its B-trees have their
+     own shapes, and hash joins ship rows — which is precisely the point;
+     reconciliation proves nothing is double- or under-counted. *)
+
+open Tb_query
+module Database = Tb_store.Database
+module Shard_map = Tb_store.Shard_map
+module Value = Tb_store.Value
+module Counters = Tb_sim.Counters
+module Sim = Tb_sim.Sim
+module Generator = Tb_derby.Generator
+
+let check_int = Alcotest.(check int)
+
+let small_cfg () =
+  let scale = 1000 in
+  {
+    (Generator.config ~scale `Deep Generator.Class_clustered) with
+    Generator.n_providers = 25;
+    fanout = 4;
+  }
+
+let small_cost = Tb_sim.Cost_model.scaled 1000
+
+let small_built () = Generator.build ~cost:small_cost (small_cfg ())
+
+let small_sharded shards =
+  Generator.build_sharded ~cost:small_cost ~shards (small_cfg ())
+
+type capture = {
+  rows : int;
+  counters : string;
+  clock_bits : int64;
+  peak : int;
+  frames : string list;
+}
+
+let frame_line (fr : Op.frame) =
+  Printf.sprintf "in=%d out=%d h=%d pr=%d pw=%d ga=%d cmp=%d hash=%d sort=%d b=%d"
+    fr.Op.rows_in fr.Op.rows_out fr.Op.handles fr.Op.pages_read
+    fr.Op.pages_written fr.Op.get_atts fr.Op.cmps fr.Op.hash_ops
+    fr.Op.sort_cmps fr.Op.bytes
+
+let capture_of sim root rows =
+  let frames = ref [] in
+  Op.iter (fun node -> frames := frame_line node.Op.frame :: !frames) root;
+  {
+    rows;
+    counters = Format.asprintf "%a" Counters.pp sim.Sim.counters;
+    clock_bits = Int64.bits_of_float (Sim.elapsed_s sim);
+    peak = sim.Sim.peak_working_bytes;
+    frames = List.rev !frames;
+  }
+
+let capture_plain db ?force_algo ?force_seq ?force_sorted q =
+  Database.cold_restart db;
+  let r, root, _ =
+    Planner.run_explained db q ?force_algo ?force_seq ?force_sorted ~keep:false
+  in
+  let rows = Query_result.count r in
+  Query_result.dispose r;
+  capture_of (Database.sim db) root rows
+
+let capture_sharded smap ?force_algo ?force_seq ?force_sorted ?(keep = false) q
+    =
+  Shard_map.cold_restart smap;
+  let r, root, global, lanes =
+    Planner.run_sharded_explained smap q ?force_algo ?force_seq ?force_sorted
+      ~keep
+  in
+  let rows = Query_result.count r in
+  let values = if keep then Query_result.values r else [] in
+  let cap = capture_of (Shard_map.sim smap) root rows in
+  Query_result.dispose r;
+  (cap, root, global, lanes, values)
+
+let check_capture name (want : capture) (have : capture) =
+  check_int (name ^ ": rows") want.rows have.rows;
+  Alcotest.(check string) (name ^ ": counters") want.counters have.counters;
+  Alcotest.(check int64) (name ^ ": clock bits") want.clock_bits have.clock_bits;
+  check_int (name ^ ": peak working bytes") want.peak have.peak;
+  check_int (name ^ ": frame count") (List.length want.frames)
+    (List.length have.frames);
+  List.iteri
+    (fun i (w, h) ->
+      Alcotest.(check string) (Printf.sprintf "%s: frame %d" name i) w h)
+    (List.combine want.frames have.frames)
+
+let sel = "select pa.age from pa in Patients where pa.mrn < 40"
+
+let join =
+  "select [p.name, pa.age] from p in Providers, pa in p.clients where pa.mrn \
+   < 60 and p.upin < 15"
+
+let algos =
+  [ Plan.NL; Plan.NOJOIN; Plan.PHJ; Plan.CHJ; Plan.PHHJ; Plan.CHHJ; Plan.SMJ ]
+
+(* S=1 sharded load and engine vs the plain build and engine: bit parity
+   over the whole matrix. *)
+let test_one_shard_bit_identity () =
+  let plain = small_built () in
+  let sh = small_sharded 1 in
+  Alcotest.(check int64)
+    "load: simulated seconds bit-identical"
+    (Int64.bits_of_float plain.Generator.load_seconds)
+    (Int64.bits_of_float sh.Generator.sh_load_seconds);
+  let db = plain.Generator.db and smap = sh.Generator.smap in
+  let check_q name ?force_algo ?force_seq ?force_sorted q =
+    let a = capture_plain db ?force_algo ?force_seq ?force_sorted q in
+    let b, _, _, lanes, _ =
+      capture_sharded smap ?force_algo ?force_seq ?force_sorted q
+    in
+    check_capture name a b;
+    check_int (name ^ ": one lane") 1 (Array.length lanes.Exec.lane_ms);
+    check_int (name ^ ": critical shard") 0 lanes.Exec.critical
+  in
+  check_q "selection/seq" ~force_seq:true sel;
+  check_q "selection/index" ~force_sorted:false sel;
+  check_q "selection/sorted" ~force_sorted:true sel;
+  check_q "selection/covering" "select pa from pa in Patients";
+  check_q "selection/aggregate" "select count(pa) from pa in Patients";
+  List.iter
+    (fun algo ->
+      let name = Plan.algo_name algo in
+      check_q (name ^ "/seq") ~force_algo:algo ~force_seq:true join;
+      check_q (name ^ "/index") ~force_algo:algo ~force_sorted:false join;
+      check_q (name ^ "/sorted") ~force_algo:algo ~force_sorted:true join)
+    algos
+
+let sorted_values vs =
+  List.sort compare (List.map (Format.asprintf "%a" Value.pp) vs)
+
+(* S=4 vs S=1: identical result multisets, and the per-shard frames
+   reconcile exactly against the global deltas. *)
+let test_four_shard_answers () =
+  let s1 = small_sharded 1 in
+  let s4 = small_sharded 4 in
+  (* [multiset:false] for queries returning object references: Rids are
+     physical addresses and legitimately differ across partitionings. *)
+  let check_q ?(multiset = true) name ?force_algo ?force_seq ?force_sorted q =
+    let a, _, _, _, va =
+      capture_sharded s1.Generator.smap ?force_algo ?force_seq ?force_sorted
+        ~keep:true q
+    in
+    let b, root, global, lanes, vb =
+      capture_sharded s4.Generator.smap ?force_algo ?force_seq ?force_sorted
+        ~keep:true q
+    in
+    check_int (name ^ ": rows") a.rows b.rows;
+    if multiset then
+      Alcotest.(check (list string))
+        (name ^ ": result multiset")
+        (sorted_values va) (sorted_values vb);
+    Alcotest.(check bool)
+      (name ^ ": frames reconcile with global totals")
+      true
+      (Op.reconciles ~global root);
+    let shard_lanes = ref 0 in
+    Op.iter
+      (fun node ->
+        match node.Op.kind with
+        | Op.Shard_lane _ -> incr shard_lanes
+        | _ -> ())
+      root;
+    check_int (name ^ ": per-shard frames present") 4 !shard_lanes;
+    check_int (name ^ ": lane report size") 4 (Array.length lanes.Exec.lane_ms);
+    Alcotest.(check bool)
+      (name ^ ": critical lane is the max")
+      true
+      (Array.for_all
+         (fun ms -> ms <= lanes.Exec.lane_ms.(lanes.Exec.critical))
+         lanes.Exec.lane_ms)
+  in
+  check_q "selection/seq" ~force_seq:true sel;
+  check_q "selection/index" ~force_sorted:false sel;
+  check_q "selection/sorted" ~force_sorted:true sel;
+  check_q ~multiset:false "selection/covering" "select pa from pa in Patients";
+  check_q "selection/aggregate" "select count(pa) from pa in Patients";
+  List.iter
+    (fun algo ->
+      let name = Plan.algo_name algo in
+      check_q (name ^ "/seq") ~force_algo:algo ~force_seq:true join;
+      check_q (name ^ "/index") ~force_algo:algo ~force_sorted:false join;
+      check_q (name ^ "/sorted") ~force_algo:algo ~force_sorted:true join)
+    algos
+
+(* Colocation invariant behind shard-local join soundness: every patient
+   lands on its provider's shard. *)
+let test_colocation () =
+  let sh = small_sharded 4 in
+  let smap = sh.Generator.smap in
+  Array.iteri
+    (fun i shard ->
+      Alcotest.(check bool)
+        (Printf.sprintf "provider %d on its hashed shard" i)
+        true
+        (shard = Shard_map.shard_of_key smap i))
+    sh.Generator.provider_shard
+
+(* Simulated speedup: a shard-local scan at S=4 must run ≥3× faster in
+   simulated elapsed time than at S=1 (work splits four ways; the Gather
+   merge is the only serial tail). *)
+let test_speedup () =
+  let scale = 500 in
+  let cfg =
+    {
+      (Generator.config ~scale `Deep Generator.Class_clustered) with
+      Generator.n_providers = 200;
+      fanout = 3;
+    }
+  in
+  let cost = Tb_sim.Cost_model.scaled scale in
+  let s1 = Generator.build_sharded ~cost ~shards:1 cfg in
+  let s4 = Generator.build_sharded ~cost ~shards:4 cfg in
+  let q = "select pa.age from pa in Patients where pa.mrn < 100000" in
+  let elapsed (b : Generator.built_sharded) =
+    Shard_map.cold_restart b.Generator.smap;
+    let r, _, _, lanes =
+      Planner.run_sharded_explained b.Generator.smap q ~force_seq:true
+        ~keep:false
+    in
+    Query_result.dispose r;
+    lanes
+  in
+  let l1 = elapsed s1 and l4 = elapsed s4 in
+  let speedup = l1.Exec.elapsed_ms /. l4.Exec.elapsed_ms in
+  Alcotest.(check bool)
+    (Printf.sprintf "S=4 elapsed speedup %.2f ≥ 3" speedup)
+    true (speedup >= 3.0);
+  Alcotest.(check bool)
+    "merge cost is visible but small"
+    true
+    (l4.Exec.merge_ms > 0.0
+    && l4.Exec.merge_ms < 0.5 *. l4.Exec.elapsed_ms)
+
+let suite =
+  [
+    Alcotest.test_case "S=1: bit-identical to the unsharded engine" `Quick
+      test_one_shard_bit_identity;
+    Alcotest.test_case "S=4: same answers, frames reconcile" `Quick
+      test_four_shard_answers;
+    Alcotest.test_case "colocation: provider hash owns the family" `Quick
+      test_colocation;
+    Alcotest.test_case "S=4 full scan: ≥3× simulated speedup" `Quick
+      test_speedup;
+  ]

@@ -36,6 +36,29 @@ let show db title ?force_algo ?force_seq ?force_sorted q =
   Format.printf "=== %s@.plan: %a@.%a@." title Plan.pp plan Op.pp_tree
     (Planner.lower plan)
 
+let small_sharded shards =
+  let scale = 1000 in
+  let cfg =
+    {
+      (Generator.config ~scale `Deep Generator.Class_clustered) with
+      Generator.n_providers = 25;
+      fanout = 4;
+    }
+  in
+  Generator.build_sharded ~cost:(Tb_sim.Cost_model.scaled scale) ~shards cfg
+
+(* Sharded lowering: the labels carry shard count and partition key
+   (shard[i/S], exchange(shards=S, key=...), gather(shards=S, key=upin)).
+   At S=1 the tree must be exactly the unsharded one — no Gather, no
+   Shard_lane. *)
+let show_sharded smap title ?force_algo ?force_seq ?force_sorted q =
+  let db0 = Tb_store.Shard_map.shard smap 0 in
+  let plan =
+    Planner.plan db0 ?force_algo ?force_seq ?force_sorted (Oql_parser.parse q)
+  in
+  Format.printf "=== %s@.plan: %a@.%a@." title Plan.pp plan Op.pp_tree
+    (Planner.lower_sharded smap plan)
+
 let () =
   let b = small_built () in
   let db = b.Generator.db in
@@ -64,4 +87,51 @@ let () =
       ~force_algo:Plan.CHJ ~keep:false
   in
   Query_result.dispose r;
-  Format.printf "%a" (Op.pp_report ~global) root
+  Format.printf "%a" (Op.pp_report ~global) root;
+  (* The sharded matrix, S ∈ {1, 4}: shard count and partition key in the
+     operator labels; the S=1 trees are byte-identical to the plain ones
+     above. *)
+  List.iter
+    (fun shards ->
+      let smap = (small_sharded shards).Generator.smap in
+      let tag = Printf.sprintf " S=%d" shards in
+      show_sharded smap ("sharded selection seq" ^ tag) ~force_seq:true
+        selection;
+      show_sharded smap ("sharded selection index" ^ tag) ~force_sorted:false
+        selection;
+      show_sharded smap ("sharded selection sorted" ^ tag) ~force_sorted:true
+        selection;
+      show_sharded smap ("sharded selection covering" ^ tag) identity_selection;
+      show_sharded smap
+        ("sharded selection aggregate" ^ tag)
+        aggregate_selection;
+      List.iter
+        (fun algo ->
+          let name = "sharded " ^ Plan.algo_name algo in
+          show_sharded smap (name ^ " seq" ^ tag) ~force_algo:algo
+            ~force_seq:true join;
+          show_sharded smap (name ^ " index" ^ tag) ~force_algo:algo
+            ~force_sorted:false join;
+          show_sharded smap (name ^ " sorted" ^ tag) ~force_algo:algo
+            ~force_sorted:true join)
+        [
+          Plan.NL; Plan.NOJOIN; Plan.PHJ; Plan.CHJ; Plan.PHHJ; Plan.CHHJ;
+          Plan.SMJ;
+        ])
+    [ 1; 4 ];
+  (* A sharded EXPLAIN ANALYZE: per-shard frames reconciling against the
+     global totals, plus the lane report with the critical-path shard. *)
+  Format.printf "=== sharded explain analyze (PHJ, aggregate, S=4)@.";
+  let smap = (small_sharded 4).Generator.smap in
+  let r, root, global, lanes =
+    Planner.run_sharded_explained smap
+      "select count(pa) from p in Providers, pa in p.clients where p.upin < 15"
+      ~force_algo:Plan.PHJ ~keep:false
+  in
+  Query_result.dispose r;
+  Format.printf "%a" (Op.pp_report ~global) root;
+  Array.iteri
+    (fun i ms -> Format.printf "lane %d: %.3f ms@." i ms)
+    lanes.Exec.lane_ms;
+  Format.printf "merge: %.3f ms@.critical shard: %d@.elapsed: %.3f ms@."
+    lanes.Exec.merge_ms lanes.Exec.critical lanes.Exec.elapsed_ms

@@ -1,0 +1,5 @@
+(* The R1 counterpart to r1_merge.ml: Exchange is whitelisted to charge —
+   rows ship between shard lanes here — so the same kind of charge that is
+   flagged there must be clean in this module. *)
+
+let ship sim = Tb_sim.Sim.charge_rpc sim ~pages:1

@@ -1,0 +1,4 @@
+(* R1 fixture: the gather merge loop may not charge — only the Exchange
+   kernels pay shipping and merge comparisons. *)
+
+let merge sim = Tb_sim.Sim.charge_compare sim 8

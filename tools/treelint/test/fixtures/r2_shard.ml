@@ -1,0 +1,5 @@
+(* R2 fixture: shard internals belong to the store layer (plus the named
+   planner/executor modules in the real config); any other reference is
+   flagged. *)
+
+let peek smap = Tb_store.Shard_map.count smap

@@ -49,6 +49,8 @@ let expected =
   [
     ("R1", "r1_page.ml", 5, "Disk.load_page");
     ("R1", "r1_page.ml", 7, "Sim.charge_disk_read");
+    ("R1", "r1_merge.ml", 4, "Sim.charge_compare");
+    ("R2", "r2_shard.ml", 5, "Shard_map.count");
     ("R2", "r2_layers.ml", 4, "core.Fingerprint.collect");
     ("R2", "r2_layers.ml", 6, "Page_layout.size");
     ("R3", "r3_determinism.ml", 6, "Random.int");
@@ -70,7 +72,8 @@ let test_fixture_diagnostics () =
         (d.Diag.rule, Filename.basename d.Diag.file, d.Diag.line, d.Diag.offender))
       result.Engine.diagnostics
   in
-  check "fixture library scanned (7 modules)" (result.Engine.files_scanned = 7);
+  check "fixture library scanned (10 modules)"
+    (result.Engine.files_scanned = 10);
   check
     (Printf.sprintf "fixture violation count (%d, want %d)"
        result.Engine.violations (List.length expected))
@@ -93,6 +96,14 @@ let test_fixture_diagnostics () =
     (not
        (List.exists
           (fun d -> Filename.basename d.Diag.file = "packed.ml")
+          result.Engine.diagnostics));
+  (* The r1-charge-whitelisted module: the same kind of Sim.charge_ call
+     r1_merge.ml is flagged for, zero diagnostics because "Exchange" is in
+     charge_allowed. *)
+  check "exchange.ml is clean under the r1 charge whitelist"
+    (not
+       (List.exists
+          (fun d -> Filename.basename d.Diag.file = "exchange.ml")
           result.Engine.diagnostics))
 
 let test_allowlist_member () =
