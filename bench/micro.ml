@@ -21,6 +21,11 @@ let sharded_built =
     (Tb_derby.Generator.build_sharded ~cost:(Tb_sim.Cost_model.scaled 500)
        ~shards:4 (bench_cfg ()))
 
+let replicated_built =
+  lazy
+    (Tb_derby.Generator.build_sharded ~cost:(Tb_sim.Cost_model.scaled 500)
+       ~shards:4 ~replicas:2 (bench_cfg ()))
+
 let run_query ?force_algo ?force_seq ?force_sorted ?packed ?batch q () =
   let b = Lazy.force built in
   Tb_store.Database.cold_restart b.Tb_derby.Generator.db;
@@ -64,6 +69,28 @@ let tests () =
     t "fig7.sharded_scan" (fun () ->
         let b = Lazy.force sharded_built in
         let smap = b.Tb_derby.Generator.smap in
+        Tb_store.Shard_map.cold_restart smap;
+        let r =
+          Tb_query.Planner.run_sharded smap (Lazy.force sel_q) ~force_seq:true
+            ~keep:false
+        in
+        let n = Tb_query.Query_result.count r in
+        Tb_query.Query_result.dispose r;
+        n);
+    (* The same sharded scan with one shard killed at its first exchange
+       boundary: wall-clock cost of detecting the crash, promoting the
+       follower (WAL catch-up + checksum walk) and re-driving the lane.
+       Each iteration restores original placement and re-arms the kill so
+       every run pays the same promotion. *)
+    t "fig7.sharded_scan_degraded" (fun () ->
+        let b = Lazy.force replicated_built in
+        let smap = b.Tb_derby.Generator.smap in
+        Tb_store.Shard_map.repair smap;
+        let reg = Tb_storage.Fault.registry ~seed:7 ~shards:4 in
+        Tb_store.Shard_map.set_fault_registry smap (Some reg);
+        Tb_storage.Fault.schedule_shard_crash
+          (Tb_storage.Fault.shard_fault reg 2)
+          ~at_boundary:1;
         Tb_store.Shard_map.cold_restart smap;
         let r =
           Tb_query.Planner.run_sharded smap (Lazy.force sel_q) ~force_seq:true

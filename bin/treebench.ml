@@ -148,16 +148,50 @@ let query_cmd =
     in
     Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
   in
-  let run_sharded oql ~scale ~shape ~org ~shards ~algo ~seq ~sorted ~show
-      ~explain =
+  let replicas_arg =
+    let doc =
+      "Keep $(docv) copies of every shard (primary + followers on distinct \
+       nodes).  The build applies each statement to the whole replica group; \
+       a mid-query shard death fails over to the next copy.  Requires \
+       1 <= R <= shards."
+    in
+    Arg.(value & opt int 1 & info [ "replicas" ] ~docv:"R" ~doc)
+  in
+  let chaos_seed_arg =
+    let doc =
+      "Chaos mode: derive per-shard fault schedules from $(docv) — transient \
+       RPC losses on every shard plus one scheduled shard kill at a seeded \
+       exchange boundary — and print the failover report.  Deterministic: \
+       the same seed reproduces the same kills, retries and fingerprint.  \
+       Requires --shards > 1 and --replicas >= 2."
+    in
+    Arg.(value & opt (some int) None & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+  in
+  let run_sharded oql ~scale ~shape ~org ~shards ~replicas ~chaos_seed ~algo
+      ~seq ~sorted ~show ~explain =
     let cfg = Tb_derby.Generator.config ~scale shape org in
     let b =
       Tb_derby.Generator.build_sharded ~cost:(Tb_sim.Cost_model.scaled scale)
-        ~shards cfg
+        ~shards ~replicas cfg
     in
     let smap = b.Tb_derby.Generator.smap in
     let organization = Tb_derby.Generator.estimate_organization cfg in
     Tb_store.Shard_map.cold_restart smap;
+    Option.iter
+      (fun seed ->
+        let reg = Tb_storage.Fault.registry ~seed ~shards in
+        Tb_store.Shard_map.set_fault_registry smap (Some reg);
+        Tb_storage.Fault.iter_registry reg (fun f ->
+            Tb_storage.Fault.set_rpc_faults f ~permille:100 ~max_retries:4);
+        let rng = Tb_sim.Rng.create seed in
+        let victim = Tb_sim.Rng.int rng shards in
+        let boundary = 1 + Tb_sim.Rng.int rng 2 in
+        Tb_storage.Fault.schedule_shard_crash
+          (Tb_storage.Fault.shard_fault reg victim)
+          ~at_boundary:boundary;
+        Format.printf "chaos: seed=%d kill shard %d at boundary %d@." seed
+          victim boundary)
+      chaos_seed;
     let r, root, global, lanes =
       Tb_query.Planner.run_sharded_explained smap oql ~organization
         ?force_algo:algo ~force_seq:seq ?force_sorted:sorted ~keep:show
@@ -165,6 +199,17 @@ let query_cmd =
     Format.printf "rows=%d  shards=%d  work=%.3f ms  elapsed=%.3f ms@."
       (Tb_query.Query_result.count r)
       shards global.Tb_query.Op.t_ms lanes.Tb_query.Exec.elapsed_ms;
+    if lanes.Tb_query.Exec.degraded then begin
+      Format.printf "degraded: completed with reduced replicas@.";
+      List.iter
+        (fun fo ->
+          Format.printf
+            "failover: shard %d died at boundary %d (%s phase), recovered in \
+             %.3f ms@."
+            fo.Tb_query.Exec.fo_shard fo.Tb_query.Exec.fo_boundary
+            fo.Tb_query.Exec.fo_phase fo.Tb_query.Exec.fo_ms)
+        lanes.Tb_query.Exec.failovers
+    end;
     if explain then begin
       Format.printf "%a" (Tb_query.Op.pp_report ~global) root;
       Array.iteri
@@ -181,14 +226,37 @@ let query_cmd =
         (Tb_query.Query_result.sample r);
     Tb_query.Query_result.dispose r
   in
-  let run oql scale shape org algo seq sorted show explain shards =
+  let run oql scale shape org algo seq sorted show explain shards replicas
+      chaos_seed =
     if shards < 1 then begin
       Printf.eprintf "treebench: --shards expects a positive count\n";
       exit 2
-    end
-    else if shards > 1 then
-      run_sharded oql ~scale ~shape ~org ~shards ~algo ~seq ~sorted ~show
-        ~explain
+    end;
+    let extent = (Tb_derby.Generator.config ~scale shape org).n_providers in
+    if shards > extent then begin
+      Printf.eprintf
+        "treebench: --shards %d exceeds the Providers extent (%d at 1/%d \
+         scale); every shard needs at least one provider\n"
+        shards extent scale;
+      exit 2
+    end;
+    if replicas < 1 || replicas > shards then begin
+      Printf.eprintf
+        "treebench: --replicas expects 1 <= R <= shards (%d copies need %d \
+         distinct nodes, have %d)\n"
+        replicas replicas shards;
+      exit 2
+    end;
+    (match chaos_seed with
+    | Some _ when shards < 2 || replicas < 2 ->
+        Printf.eprintf
+          "treebench: --chaos-seed needs --shards > 1 and --replicas >= 2 (a \
+           killed shard must have a replica to fail over to)\n";
+        exit 2
+    | _ -> ());
+    if shards > 1 then
+      run_sharded oql ~scale ~shape ~org ~shards ~replicas ~chaos_seed ~algo
+        ~seq ~sorted ~show ~explain
     else begin
     let b = build_db ~scale ~shape ~org in
     let organization =
@@ -226,7 +294,8 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ oql_arg $ scale_arg $ shape_arg $ org_arg $ algo_arg
-      $ seq_arg $ sorted_arg $ show_arg $ explain_arg $ shards_arg)
+      $ seq_arg $ sorted_arg $ show_arg $ explain_arg $ shards_arg
+      $ replicas_arg $ chaos_seed_arg)
 
 (* --- plan --- *)
 

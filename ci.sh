@@ -28,4 +28,9 @@ dune runtest
 # Exhaustive crash-recovery fuzz: crash at every durable write of the
 # fixed-seed workload (the default runtest pass strides the same sweep).
 TREEBENCH_RECOVERY_FULL=1 dune exec test/test_main.exe -- test recovery
+# Exhaustive chaos sweep: kill every shard at every exchange boundary of
+# every (algorithm x access path) plan on the S=4/R=2 database and require
+# the fault-free result multiset plus exactly one failover (the default
+# runtest pass runs a strided smoke of the same matrix).
+TREEBENCH_CHAOS_FULL=1 dune exec test/test_main.exe -- test chaos
 dune exec bench/perf_gate.exe -- --smoke --check --tolerance 150

@@ -29,6 +29,20 @@ let line ~tag db result_count =
       Printf.sprintf " wal=%d redo=%d undo=%d rr=%d" c.Counters.wal_appends
         c.Counters.redo_pages c.Counters.undo_pages c.Counters.read_retries
   in
+  (* Likewise for shard-failure activity: RPC timeouts/retries and replica
+     promotions only ever show up when a fault schedule fired, so the
+     fault-free golden lines are untouched while a chaos run's fingerprint
+     pins down the exact failover story. *)
+  let chaos =
+    if
+      c.Counters.rpc_timeouts = 0 && c.Counters.rpc_retries = 0
+      && c.Counters.failovers = 0
+    then ""
+    else
+      Printf.sprintf " rpct=%d rpcr=%d fo=%d" c.Counters.rpc_timeouts
+        c.Counters.rpc_retries c.Counters.failovers
+  in
+  let recovery = recovery ^ chaos in
   Printf.sprintf
     "%s | elapsed=%Lx rows=%d dr=%d dw=%d rpc=%d rpcp=%d sh=%d sm=%d ch=%d \
      cm=%d ha=%d hf=%d hh=%d ga=%d cmp=%d hi=%d hp=%d sc=%d ra=%d sw=%d \

@@ -253,12 +253,18 @@ let build ?(cost = Tb_sim.Cost_model.default) cfg =
    — is created in the shard its upin hashes to.  At [shards = 1] every
    call lands on shard 0 with the same cache budgets as [build]'s single
    database, so the charge stream (counters, clock, peak) is bit-identical
-   to the unsharded load; the parity suite pins that. *)
-let build_sharded ?(cost = Tb_sim.Cost_model.default) ~shards cfg =
+   to the unsharded load; the parity suite pins that.
+
+   With [replicas > 1] every statement is applied to the whole replica
+   group — primary first, then each follower — so follower databases are
+   byte-identical twins (same Rids, same page images) and the load cost
+   honestly includes the replication stream.  At the default [replicas =
+   1] the follower lists are empty and the loop bodies never run. *)
+let build_sharded ?(cost = Tb_sim.Cost_model.default) ~shards ?replicas cfg =
   let sim = Tb_sim.Sim.create ~seed:cfg.seed cost in
   let rng = sim.Tb_sim.Sim.rng in
   let smap =
-    Tb_store.Shard_map.create sim ~schema:Derby.schema ~shards
+    Tb_store.Shard_map.create sim ~schema:Derby.schema ~shards ?replicas
       ~server_pages:cfg.server_pages ~client_pages:cfg.client_pages
       ~handle_kind:cfg.handle_kind ~txn_mode:cfg.txn_mode
       ~zombie_limit:(max 64 (cfg.client_pages / shards))
@@ -273,19 +279,22 @@ let build_sharded ?(cost = Tb_sim.Cost_model.default) ~shards cfg =
     Array.init np (fun i -> Tb_store.Shard_map.shard_of_key smap i)
   in
   let patient_shard = Array.init nc (fun j -> provider_shard.(provider_of.(j))) in
-  Tb_store.Shard_map.iter smap (fun s db ->
-      match cfg.organization with
-      | Class_clustered | Assoc_ordered ->
-          Database.bind_class db ~cls:Derby.provider_cls
-            (Database.new_file db ~name:(Printf.sprintf "providers.%d" s));
-          Database.bind_class db ~cls:Derby.patient_cls
-            (Database.new_file db ~name:(Printf.sprintf "patients.%d" s))
-      | Randomized | Composition ->
-          let shared =
-            Database.new_file db ~name:(Printf.sprintf "objects.%d" s)
-          in
-          Database.bind_class db ~cls:Derby.provider_cls shared;
-          Database.bind_class db ~cls:Derby.patient_cls shared);
+  Tb_store.Shard_map.iter_group smap (fun s dbs ->
+      List.iter
+        (fun db ->
+          match cfg.organization with
+          | Class_clustered | Assoc_ordered ->
+              Database.bind_class db ~cls:Derby.provider_cls
+                (Database.new_file db ~name:(Printf.sprintf "providers.%d" s));
+              Database.bind_class db ~cls:Derby.patient_cls
+                (Database.new_file db ~name:(Printf.sprintf "patients.%d" s))
+          | Randomized | Composition ->
+              let shared =
+                Database.new_file db ~name:(Printf.sprintf "objects.%d" s)
+              in
+              Database.bind_class db ~cls:Derby.provider_cls shared;
+              Database.bind_class db ~cls:Derby.patient_cls shared)
+        dbs);
   let providers = Array.make np Rid.nil in
   let patients = Array.make nc Rid.nil in
   let created = ref 0 in
@@ -300,12 +309,30 @@ let build_sharded ?(cost = Tb_sim.Cost_model.default) ~shards cfg =
     then Value.Set []
     else inline
   in
-  let provider_db i = Tb_store.Shard_map.shard smap provider_shard.(i) in
-  let patient_db j = Tb_store.Shard_map.shard smap patient_shard.(j) in
+  let provider_dbs i = Tb_store.Shard_map.group smap provider_shard.(i) in
+  let patient_dbs j = Tb_store.Shard_map.group smap patient_shard.(j) in
+  (* Apply one insert to the whole replica group.  The primary's Rid is
+     the object's address; followers replay the identical statement
+     stream, so their copies land at the same Rid by construction. *)
+  let insert_replicated dbs ~cls value =
+    match dbs with
+    | [] -> assert false
+    | primary :: rest ->
+        let rid =
+          Database.insert_object primary ~cls ~indexed:cfg.indexed_creation
+            value
+        in
+        List.iter
+          (fun db ->
+            ignore
+              (Database.insert_object db ~cls ~indexed:cfg.indexed_creation
+                 value))
+          rest;
+        rid
+  in
   let create_provider i =
     providers.(i) <-
-      Database.insert_object (provider_db i) ~cls:Derby.provider_cls
-        ~indexed:cfg.indexed_creation
+      insert_replicated (provider_dbs i) ~cls:Derby.provider_cls
         (Derby.provider_value ~upin:i ~clients:clients_placeholder);
     maybe_commit ()
   in
@@ -314,8 +341,7 @@ let build_sharded ?(cost = Tb_sim.Cost_model.default) ~shards cfg =
       match pcp with Some rid -> Value.Ref rid | None -> Value.Ref Rid.nil
     in
     patients.(j) <-
-      Database.insert_object (patient_db j) ~cls:Derby.patient_cls
-        ~indexed:cfg.indexed_creation
+      insert_replicated (patient_dbs j) ~cls:Derby.patient_cls
         (Derby.patient_value ~mrn:j ~age:ages.(j)
            ~sex:(if j land 1 = 0 then 'F' else 'M')
            ~random_integer:(1 + Rng.int rng np)
@@ -323,20 +349,22 @@ let build_sharded ?(cost = Tb_sim.Cost_model.default) ~shards cfg =
     maybe_commit ()
   in
   let set_clients i =
-    let db = provider_db i in
+    let dbs = provider_dbs i in
     let refs = List.map (fun j -> Value.Ref patients.(j)) children.(i) in
-    let header, value = Database.read_object db providers.(i) in
+    let header, value = Database.read_object (List.hd dbs) providers.(i) in
     ignore header;
-    Database.update_object db providers.(i)
-      (Value.set_field value "clients" (Value.Set refs));
+    let value' = Value.set_field value "clients" (Value.Set refs) in
+    List.iter (fun db -> Database.update_object db providers.(i) value') dbs;
     maybe_commit ()
   in
   let set_pcp j =
-    let db = patient_db j in
-    let _, value = Database.read_object db patients.(j) in
-    Database.update_object db patients.(j)
-      (Value.set_field value "primary_care_provider"
-         (Value.Ref providers.(provider_of.(j))));
+    let dbs = patient_dbs j in
+    let _, value = Database.read_object (List.hd dbs) patients.(j) in
+    let value' =
+      Value.set_field value "primary_care_provider"
+        (Value.Ref providers.(provider_of.(j)))
+    in
+    List.iter (fun db -> Database.update_object db patients.(j) value') dbs;
     maybe_commit ()
   in
   (match cfg.organization with
@@ -378,16 +406,20 @@ let build_sharded ?(cost = Tb_sim.Cost_model.default) ~shards cfg =
       for i = 0 to np - 1 do
         set_clients i
       done);
-  Tb_store.Shard_map.iter smap (fun _ db ->
-      ignore
-        (Database.create_index db ~name:"upin" ~cls:Derby.provider_cls
-           ~attr:"upin");
-      ignore
-        (Database.create_index db ~name:"mrn" ~cls:Derby.patient_cls ~attr:"mrn");
-      if cfg.build_num_index then
-        ignore
-          (Database.create_index db ~name:"num" ~cls:Derby.patient_cls
-             ~attr:"num"));
+  Tb_store.Shard_map.iter_group smap (fun _ dbs ->
+      List.iter
+        (fun db ->
+          ignore
+            (Database.create_index db ~name:"upin" ~cls:Derby.provider_cls
+               ~attr:"upin");
+          ignore
+            (Database.create_index db ~name:"mrn" ~cls:Derby.patient_cls
+               ~attr:"mrn");
+          if cfg.build_num_index then
+            ignore
+              (Database.create_index db ~name:"num" ~cls:Derby.patient_cls
+                 ~attr:"num"))
+        dbs);
   Tb_store.Shard_map.commit smap;
   let sh_load_seconds = Tb_sim.Sim.elapsed_s sim in
   Tb_store.Shard_map.cold_restart smap;

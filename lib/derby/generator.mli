@@ -77,9 +77,16 @@ type built_sharded = {
     order, with each provider and its patients created in the shard
     [hash(upin)] selects (colocation, so every join pair is shard-local).
     Every shard gets its own files and its own upin/mrn/num indexes.  With
-    [~shards:1] the load's charge stream is bit-identical to {!build}. *)
+    [~shards:1] the load's charge stream is bit-identical to {!build}.
+    [replicas] (default 1) builds that many byte-identical copies of each
+    shard by applying every statement to the whole replica group — the
+    load cost honestly includes the replication stream. *)
 val build_sharded :
-  ?cost:Tb_sim.Cost_model.t -> shards:int -> config -> built_sharded
+  ?cost:Tb_sim.Cost_model.t ->
+  shards:int ->
+  ?replicas:int ->
+  config ->
+  built_sharded
 
 (** [estimate_organization cfg] maps the generator's organization onto the
     planner's coarser view. *)

@@ -606,12 +606,88 @@ let run db root ~keep = fst (run_explained db root ~keep)
    ordered-merge comparisons are the modeled merge cost that bends the
    speedup curve. *)
 
+type failover = {
+  fo_shard : int;  (** the shard that died *)
+  fo_boundary : int;  (** 1-based exchange-boundary ordinal of the death *)
+  fo_phase : string;  (** "local" | "route" | "dest" *)
+  fo_ms : float;  (** detection + promotion + re-execution, lane time *)
+}
+
 type lane_report = {
   lane_ms : float array;  (** per-shard busy time inside the fork scopes *)
   merge_ms : float;  (** the Gather's own elapsed after the last join *)
   elapsed_ms : float;  (** simulated elapsed of the whole run (max + merge) *)
   critical : int;  (** the critical-path shard: argmax of [lane_ms] *)
+  failovers : failover list;  (** replica promotions, in occurrence order *)
+  degraded : bool;  (** completed with reduced replicas *)
 }
+
+(* Rebuild a shard-local subtree against a promoted replica: the only
+   db-bound state an operator node carries is its Index_scan catalog
+   entry, swapped for the replica's index over the same (cls, attr).
+   Frames are SHARED with the original nodes, so the wasted first attempt
+   and the re-execution accumulate into the same per-operator report and
+   [Op.reconciles] stays exact. *)
+let rec retarget db node =
+  let re = retarget db in
+  let kind =
+    match node.Op.kind with
+    | Op.Seq_scan _ as k -> k
+    | Op.Index_scan { index; lo; hi } -> (
+        let cls = index.Tb_store.Index_def.cls in
+        let attr = index.Tb_store.Index_def.attr in
+        match Database.find_index db ~cls ~attr with
+        | Some index -> Op.Index_scan { index; lo; hi }
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Exec: replica lacks index %s.%s" cls attr))
+    | Op.Sort_rids { child } -> Op.Sort_rids { child = re child }
+    | Op.Fetch { child; cls; var; preds; covering; mode; batch } ->
+        Op.Fetch { child = re child; cls; var; preds; covering; mode; batch }
+    | Op.Nav_set { child; set_attr; owner_cls; nav_var; nav_cls; preds } ->
+        Op.Nav_set
+          { child = re child; set_attr; owner_cls; nav_var; nav_cls; preds }
+    | Op.Nav_inverse { child; inv_attr; owner_cls; nav_var; nav_cls; preds } ->
+        Op.Nav_inverse
+          { child = re child; inv_attr; owner_cls; nav_var; nav_cls; preds }
+    | Op.Harvest { child; key; cls; attrs; mode } ->
+        Op.Harvest { child = re child; key; cls; attrs; mode }
+    | Op.Hash_build { child } -> Op.Hash_build { child = re child }
+    | Op.Spill_partition { child; partitions } ->
+        Op.Spill_partition { child = re child; partitions }
+    | Op.Hash_probe { build; probe; probe_key; probe_cls; build_var; probe_var }
+      ->
+        Op.Hash_probe
+          {
+            build = re build;
+            probe = re probe;
+            probe_key;
+            probe_cls;
+            build_var;
+            probe_var;
+          }
+    | Op.Sort { child } -> Op.Sort { child = re child }
+    | Op.Merge { left; right; left_var; right_var } ->
+        Op.Merge { left = re left; right = re right; left_var; right_var }
+    | Op.Project { child; select } -> Op.Project { child = re child; select }
+    | Op.Materialize { child; aggregate } ->
+        Op.Materialize { child = re child; aggregate }
+    | Op.Shard_lane _ | Op.Exchange _ | Op.Gather _ ->
+        invalid_arg "Exec: cannot retarget a sharding operator"
+  in
+  { Op.kind; frame = node.Op.frame }
+
+(* Promote until a replica passes its checksum walk (a refusing replica is
+   consumed, so the loop advances); fail the query only when the shard has
+   nothing left to promote. *)
+let rec promote_replica smap ~shard =
+  match Tb_store.Shard_map.promote smap ~shard with
+  | Ok db -> db
+  | Error msg ->
+      if Tb_store.Shard_map.live_replicas smap shard <= 1 then
+        failwith
+          (Printf.sprintf "Exec: shard %d unrecoverable: %s" shard msg)
+      else promote_replica smap ~shard
 
 (* The per-lane pieces of an exchange (hash-join) plan. *)
 type xlane = {
@@ -740,14 +816,50 @@ let run_sharded_explained smap root ~keep =
   let s0 = snapshot sim in
   let now0 = Tb_sim.Clock.now_ms clock in
   let lane_ms = Array.make shards 0.0 in
+  let failovers = ref [] in
+  let fault_of s = Tb_store.Shard_map.fault smap s in
+  (* A shard died at an exchange boundary on the current lane: charge the
+     detection timeout, promote its next replica (WAL catch-up + checksum
+     walk, charged by Shard_map), then [resume] against it.  Everything
+     lands on the lane's clock lane attributed to the Shard_lane frame, so
+     a failover stretches the critical path exactly when its shard sits on
+     it.  The dying fault layer is read *before* promotion clears it — the
+     boundary ordinal is the chaos sweep's kill-point coordinate. *)
+  let failover ~shard ~phase ~lane_fr resume =
+    let t0 = Tb_sim.Clock.work_ms clock in
+    let boundary =
+      match fault_of shard with
+      | Some f -> Tb_storage.Fault.boundaries_seen f
+      | None -> 0
+    in
+    Op.Acct.enter acct lane_fr;
+    Exchange.detect_failure sim;
+    let db = promote_replica smap ~shard in
+    let r = resume db in
+    let fo_ms = Tb_sim.Clock.work_ms clock -. t0 in
+    failovers :=
+      { fo_shard = shard; fo_boundary = boundary; fo_phase = phase; fo_ms }
+      :: !failovers;
+    r
+  in
   let xls = Array.map exchange_parts lanes in
   let partials =
     if Array.for_all Option.is_some xls then begin
       (* Exchange plan: phase A routes both sides source-by-source, the
-         join is the all-to-all barrier, phase B joins per destination. *)
+         join is the all-to-all barrier, phase B joins per destination.
+         Boundaries: one before a source routes, one after both its sides
+         flushed (phase A), one before a destination builds (phase B) —
+         in phase A a failover drops the dead source's partial traffic
+         from both buffers and re-routes from the replica; in phase B the
+         routed rows are all still intact, so the replica only re-runs
+         the destination's build/probe. *)
       let xls = Array.map Option.get xls in
-      let bx : (Rid.t * Op.payload) Exchange.t = Exchange.create sim ~shards in
-      let px : (Rid.t * Op.payload) Exchange.t = Exchange.create sim ~shards in
+      let bx : (Rid.t * Op.payload) Exchange.t =
+        Exchange.create ~fault_of sim ~shards
+      in
+      let px : (Rid.t * Op.payload) Exchange.t =
+        Exchange.create ~fault_of sim ~shards
+      in
       Fun.protect
         ~finally:(fun () ->
           Exchange.dispose bx;
@@ -757,27 +869,39 @@ let run_sharded_explained smap root ~keep =
           Array.iteri
             (fun i xl ->
               Tb_sim.Clock.enter_lane scope_a i;
-              let st =
-                { db = Tb_store.Shard_map.shard smap xl.xl_shard; acct }
-              in
-              let route (ex : Op.t) harv =
-                let ex_fr = ex.Op.frame in
-                let buf =
-                  match ex == xl.xl_bex with true -> bx | false -> px
-                in
+              let shard = xl.xl_shard in
+              let route db (ex_fr : Op.frame) buf harv =
+                let st = { db; acct } in
                 iter_kvs st harv (fun (key, payload) ->
                     Op.Acct.enter acct ex_fr;
                     ex_fr.Op.rows_in <- ex_fr.Op.rows_in + 1;
-                    let key = Exchange.retag ~shard:xl.xl_shard key in
+                    let key = Exchange.retag ~shard key in
                     ex_fr.Op.rows_out <- ex_fr.Op.rows_out + 1;
-                    Exchange.send buf ~dest:(Exchange.dest_of buf key)
+                    Exchange.send buf ~src:shard
+                      ~dest:(Exchange.dest_of buf key)
                       ~bytes:(Operators.payload_bytes payload + Rid.on_disk_bytes)
                       (key, payload));
                 Op.Acct.enter acct ex_fr;
-                Exchange.flush_source buf
+                Exchange.flush_source buf ~src:shard
               in
-              route xl.xl_bex xl.xl_bharv;
-              route xl.xl_pex xl.xl_pharv)
+              let route_both db bharv pharv =
+                route db xl.xl_bex.Op.frame bx bharv;
+                route db xl.xl_pex.Op.frame px pharv
+              in
+              try
+                Exchange.boundary sim (fault_of shard);
+                route_both
+                  (Tb_store.Shard_map.shard smap shard)
+                  xl.xl_bharv xl.xl_pharv;
+                Exchange.boundary sim (fault_of shard)
+              with Tb_storage.Fault.Shard_down s when s = shard ->
+                failover ~shard ~phase:"route" ~lane_fr:lanes.(i).Op.frame
+                  (fun db ->
+                    Exchange.drop_source bx ~src:shard;
+                    Exchange.drop_source px ~src:shard;
+                    route_both db
+                      (retarget db xl.xl_bharv)
+                      (retarget db xl.xl_pharv)))
             xls;
           Tb_sim.Clock.join scope_a;
           let scope_b = Tb_sim.Clock.fork clock ~lanes:shards in
@@ -785,8 +909,14 @@ let run_sharded_explained smap root ~keep =
             Array.mapi
               (fun i xl ->
                 Tb_sim.Clock.enter_lane scope_b i;
-                let db = Tb_store.Shard_map.shard smap xl.xl_shard in
-                run_exchange_dest acct db xl ~keep ~bx ~px)
+                let shard = xl.xl_shard in
+                try
+                  Exchange.boundary sim (fault_of shard);
+                  let db = Tb_store.Shard_map.shard smap shard in
+                  run_exchange_dest acct db xl ~keep ~bx ~px
+                with Tb_storage.Fault.Shard_down s when s = shard ->
+                  failover ~shard ~phase:"dest" ~lane_fr:lanes.(i).Op.frame
+                    (fun db -> run_exchange_dest acct db xl ~keep ~bx ~px))
               xls
           in
           Array.iteri
@@ -798,7 +928,12 @@ let run_sharded_explained smap root ~keep =
           partials)
     end
     else begin
-      (* Shard-local plan: one scope, each lane drives its own subtree. *)
+      (* Shard-local plan: one scope, each lane drives its own subtree.
+         Boundaries: dispatch (before the drive) and pre-ship (after it,
+         still inside the lane).  A pre-ship death abandons the finished
+         partial — its rows die with the shard — and the replica redoes
+         the whole subtree, which is exactly the re-execution the elapsed
+         model should see. *)
       let scope = Tb_sim.Clock.fork clock ~lanes:shards in
       let partials =
         Array.mapi
@@ -806,11 +941,26 @@ let run_sharded_explained smap root ~keep =
             match lane.Op.kind with
             | Op.Shard_lane { child; shard; _ } ->
                 Tb_sim.Clock.enter_lane scope i;
-                let st = { db = Tb_store.Shard_map.shard smap shard; acct } in
-                let r = drive_materialize st child ~keep in
                 let lfr = lane.Op.frame in
-                lfr.Op.rows_out <- Query_result.count r;
-                r
+                let finish r =
+                  lfr.Op.rows_out <- Query_result.count r;
+                  r
+                in
+                let drive db node =
+                  let st = { db; acct } in
+                  drive_materialize st node ~keep
+                in
+                (try
+                   Exchange.boundary sim (fault_of shard);
+                   let r = drive (Tb_store.Shard_map.shard smap shard) child in
+                   (try Exchange.boundary sim (fault_of shard)
+                    with e ->
+                      Query_result.dispose r;
+                      raise e);
+                   finish r
+                 with Tb_storage.Fault.Shard_down s when s = shard ->
+                   failover ~shard ~phase:"local" ~lane_fr:lfr (fun db ->
+                       finish (drive db (retarget db child))))
             | _ -> invalid_arg "Exec: Gather lanes must be Shard_lane")
           lanes
       in
@@ -844,6 +994,7 @@ let run_sharded_explained smap root ~keep =
   Array.iteri
     (fun i ms -> if ms > lane_ms.(!critical) then critical := i)
     lane_ms;
+  let failovers = List.rev !failovers in
   ( total,
     deltas sim s0,
     {
@@ -851,4 +1002,6 @@ let run_sharded_explained smap root ~keep =
       merge_ms = now1 -. merge0;
       elapsed_ms = now1 -. now0;
       critical = !critical;
+      failovers;
+      degraded = (match failovers with [] -> false | _ :: _ -> true);
     } )

@@ -23,12 +23,25 @@ val run : Tb_store.Database.t -> Op.t -> keep:bool -> Query_result.t
 val run_explained :
   Tb_store.Database.t -> Op.t -> keep:bool -> Query_result.t * Op.totals
 
+(** One mid-query replica promotion: which shard died, at which 1-based
+    exchange-boundary ordinal, in which phase (["local"] for shard-local
+    plans, ["route"] / ["dest"] for the two exchange phases), and how much
+    lane time the detection + promotion + re-execution cost. *)
+type failover = {
+  fo_shard : int;
+  fo_boundary : int;
+  fo_phase : string;
+  fo_ms : float;
+}
+
 (** How the simulated parallelism of one sharded run unfolded. *)
 type lane_report = {
   lane_ms : float array;  (** per-shard busy time inside the fork scopes *)
   merge_ms : float;  (** the Gather's own elapsed after the last join *)
   elapsed_ms : float;  (** simulated elapsed of the whole run (max + merge) *)
   critical : int;  (** the critical-path shard: argmax of [lane_ms] *)
+  failovers : failover list;  (** replica promotions, in occurrence order *)
+  degraded : bool;  (** completed with reduced replicas *)
 }
 
 (** [run_sharded_explained smap root ~keep] executes a sharded tree — an
@@ -38,7 +51,21 @@ type lane_report = {
     hash-join plans with {!Op.Exchange} children run two scopes with an
     all-to-all barrier between the route and the build/probe phase.  The
     returned totals are work totals ([Op.reconciles] holds against them);
-    the lane report carries the elapsed-time story. *)
+    the lane report carries the elapsed-time story.
+
+    When the shard map carries an armed fault registry
+    ({!Tb_store.Shard_map.set_fault_registry}), each lane ticks its
+    shard's boundary schedule at every exchange boundary; a scheduled
+    crash raises {!Tb_storage.Fault.Shard_down}, which the executor
+    catches on the lane: it charges a detection timeout, promotes the
+    shard's next replica (refusing replicas are consumed until one passes
+    its checksum walk), retargets the shard-local subtree at the replica
+    and re-executes it — all inside the lane's clock scope, so the
+    failover stretches [elapsed_ms] exactly when the dead shard is on the
+    critical path.  Wasted first-attempt work stays in the frames (they
+    are shared with the retargeted subtree), so [Op.reconciles] still
+    holds.  Fault-free and at [replicas = 1] the machinery adds zero
+    charges and zero RNG draws: the PR 7 charge stream is bit-identical. *)
 val run_sharded_explained :
   Tb_store.Shard_map.t ->
   Op.t ->

@@ -688,6 +688,8 @@ let run_sharded_explained ?mode ?organization ?force_algo ?force_sorted
         merge_ms = 0.0;
         elapsed_ms = global.Op.t_ms;
         critical = 0;
+        failovers = [];
+        degraded = false;
       } )
   else
     let result, global, lanes = Exec.run_sharded_explained smap root ~keep in

@@ -24,6 +24,10 @@ type t = {
   swap_fault_ms : float;
   thrash_factor : float;
   read_retry_backoff_ms : float;
+  rpc_timeout_ms : float;
+  rpc_retry_base_ms : float;
+  promote_fixed_ms : float;
+  promote_page_ms : float;
   ram_bytes : int;
   reserved_bytes : int;
 }
@@ -55,6 +59,10 @@ let default =
     swap_fault_ms = 10.0;
     thrash_factor = 4.0;
     read_retry_backoff_ms = 5.0;
+    rpc_timeout_ms = 25.0;
+    rpc_retry_base_ms = 2.0;
+    promote_fixed_ms = 20.0;
+    promote_page_ms = 0.05;
     ram_bytes = mib 128;
     (* 4 MB server cache + 32 MB client cache + ~28 MB of system, window
        manager and AFS overhead the paper could not evaluate. *)

@@ -49,6 +49,20 @@ type t = {
   read_retry_backoff_ms : float;
       (** settle time before re-issuing a page read after a transient disk
           error (fault injection only; never charged on the healthy path) *)
+  rpc_timeout_ms : float;
+      (** how long the client waits before declaring a shard RPC lost — the
+          detection cost of every transient, partition or crash event
+          (fault injection only; never charged on the healthy path) *)
+  rpc_retry_base_ms : float;
+      (** base of the exponential backoff before re-issuing a timed-out
+          shard RPC; the k-th retry waits [base * 2^k * jitter] with jitter
+          drawn from the seeded fault Rng (fault injection only) *)
+  promote_fixed_ms : float;
+      (** fixed cost of promoting a replica to primary: election + catalog
+          handoff (fault injection only) *)
+  promote_page_ms : float;
+      (** per durable page verified (checksum walk) during promotion
+          (fault injection only) *)
   ram_bytes : int;            (** physical memory (128 MB on the Sparc 20) *)
   reserved_bytes : int;
       (** memory not available to query operators: O2 caches, window

@@ -21,6 +21,9 @@ type t = {
   mutable redo_pages : int;
   mutable undo_pages : int;
   mutable read_retries : int;
+  mutable rpc_timeouts : int;
+  mutable rpc_retries : int;
+  mutable failovers : int;
 }
 
 let create () =
@@ -47,6 +50,9 @@ let create () =
     redo_pages = 0;
     undo_pages = 0;
     read_retries = 0;
+    rpc_timeouts = 0;
+    rpc_retries = 0;
+    failovers = 0;
   }
 
 let reset t =
@@ -71,7 +77,10 @@ let reset t =
   t.wal_appends <- 0;
   t.redo_pages <- 0;
   t.undo_pages <- 0;
-  t.read_retries <- 0
+  t.read_retries <- 0;
+  t.rpc_timeouts <- 0;
+  t.rpc_retries <- 0;
+  t.failovers <- 0
 
 let snapshot t = { t with disk_reads = t.disk_reads }
 
@@ -99,6 +108,9 @@ let diff ~later ~earlier =
     redo_pages = later.redo_pages - earlier.redo_pages;
     undo_pages = later.undo_pages - earlier.undo_pages;
     read_retries = later.read_retries - earlier.read_retries;
+    rpc_timeouts = later.rpc_timeouts - earlier.rpc_timeouts;
+    rpc_retries = later.rpc_retries - earlier.rpc_retries;
+    failovers = later.failovers - earlier.failovers;
   }
 
 let rate misses hits =
@@ -113,9 +125,11 @@ let pp ppf t =
     "@[<v>disk reads/writes: %d/%d@ rpc: %d (%d pages)@ server hit/miss: \
      %d/%d@ client hit/miss: %d/%d@ handles alloc/free/hit: %d/%d/%d@ \
      get_att: %d cmp: %d@ hash ins/probe: %d/%d sortcmp: %d@ result: %d swap \
-     faults: %d@ wal appends: %d redo/undo pages: %d/%d read retries: %d@]"
+     faults: %d@ wal appends: %d redo/undo pages: %d/%d read retries: %d@ \
+     rpc timeout/retry: %d/%d failovers: %d@]"
     t.disk_reads t.disk_writes t.rpc_count t.rpc_pages t.server_hits
     t.server_misses t.client_hits t.client_misses t.handle_allocs
     t.handle_frees t.handle_hits t.get_atts t.comparisons t.hash_inserts
     t.hash_probes t.sort_comparisons t.result_appends t.swap_faults
-    t.wal_appends t.redo_pages t.undo_pages t.read_retries
+    t.wal_appends t.redo_pages t.undo_pages t.read_retries t.rpc_timeouts
+    t.rpc_retries t.failovers

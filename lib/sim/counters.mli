@@ -30,6 +30,9 @@ type t = {
   mutable redo_pages : int;   (** pages restored from after-images at recovery *)
   mutable undo_pages : int;   (** pages restored from before-images at abort/recovery *)
   mutable read_retries : int; (** transient read errors retried (fault injection) *)
+  mutable rpc_timeouts : int; (** shard RPCs declared lost after the timeout window *)
+  mutable rpc_retries : int;  (** shard RPCs re-issued after a timeout *)
+  mutable failovers : int;    (** replica promotions (mid-query or explicit) *)
 }
 
 (** A zeroed counter set. *)

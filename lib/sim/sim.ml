@@ -152,11 +152,34 @@ let charge_undo_page t =
   charge_disk_write t
 
 (* A transient read error: the failed read is paid for, plus the settle time
-   before the retry is issued. *)
-let charge_read_retry t =
+   before the retry is issued.  The backoff is supplied by the caller so the
+   jitter draw stays in [Fault]'s seeded Rng (never wall clock). *)
+let charge_read_retry t ~backoff_ms =
   t.counters.Counters.read_retries <- t.counters.Counters.read_retries + 1;
   charge_disk_read t;
-  Clock.advance t.clock t.cost.Cost_model.read_retry_backoff_ms
+  Clock.advance t.clock backoff_ms
+
+(* A shard RPC declared lost: the full timeout window elapses before the
+   caller learns anything.  Detection cost of every injected transient,
+   partition or crash event. *)
+let charge_rpc_timeout t =
+  t.counters.Counters.rpc_timeouts <- t.counters.Counters.rpc_timeouts + 1;
+  Clock.advance t.clock t.cost.Cost_model.rpc_timeout_ms
+
+(* Re-issuing a timed-out shard RPC after an exponential-backoff wait.  Only
+   the wait is charged here — the re-issued RPC itself goes through
+   [charge_rpc] like any other, so traffic counters stay honest. *)
+let charge_rpc_retry t ~backoff_ms =
+  t.counters.Counters.rpc_retries <- t.counters.Counters.rpc_retries + 1;
+  Clock.advance t.clock backoff_ms
+
+(* Promoting a replica to primary: election plus a checksum walk over the
+   follower's durable pages. *)
+let charge_failover t ~pages =
+  t.counters.Counters.failovers <- t.counters.Counters.failovers + 1;
+  Clock.advance t.clock
+    (t.cost.Cost_model.promote_fixed_ms
+    +. (float_of_int pages *. t.cost.Cost_model.promote_page_ms))
 
 let charge_result_append t ~bytes ~standard =
   t.counters.Counters.result_appends <- t.counters.Counters.result_appends + 1;

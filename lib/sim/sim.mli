@@ -95,9 +95,25 @@ val charge_redo_page : t -> unit
     write plus the [undo_pages] counter). *)
 val charge_undo_page : t -> unit
 
-(** One transient read error: charges the wasted read and the retry backoff
-    from {!Cost_model.t.read_retry_backoff_ms}.  Fault injection only. *)
-val charge_read_retry : t -> unit
+(** One transient read error: charges the wasted read plus the supplied
+    settle time.  The caller computes [backoff_ms] from
+    {!Cost_model.t.read_retry_backoff_ms} and the seeded fault Rng's jitter
+    so retry charges are reproducible bit for bit.  Fault injection only. *)
+val charge_read_retry : t -> backoff_ms:float -> unit
+
+(** One shard RPC declared lost after {!Cost_model.t.rpc_timeout_ms} —
+    the detection cost of a transient, partition or crash.  Fault injection
+    only. *)
+val charge_rpc_timeout : t -> unit
+
+(** The exponential-backoff wait before re-issuing a timed-out shard RPC.
+    The re-issued RPC itself is charged through {!charge_rpc}.  Fault
+    injection only. *)
+val charge_rpc_retry : t -> backoff_ms:float -> unit
+
+(** One replica promotion: election plus a [pages]-page checksum walk over
+    the follower's durable images.  Fault injection only. *)
+val charge_failover : t -> pages:int -> unit
 
 (** [charge_result_append t ~bytes ~standard] appends one element to the
     query result.  Under a standard transaction the system builds the

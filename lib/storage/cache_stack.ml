@@ -72,19 +72,23 @@ let fetch_from_server t id =
   | None ->
       t.sim.Tb_sim.Sim.counters.Tb_sim.Counters.server_misses <-
         t.sim.Tb_sim.Sim.counters.Tb_sim.Counters.server_misses + 1;
-      (* Transient read errors burn a read plus a backoff each, then the
-         retry succeeds (bounded by the fault layer's retry budget). *)
+      (* Transient read errors burn a read plus an exponentially backed-off
+         settle each, then the retry succeeds (bounded by the fault layer's
+         retry budget).  The jitter multiplier comes from the fault layer's
+         seeded Rng, so the charge stream replays bit for bit. *)
       (match t.fault with
       | None -> ()
       | Some f ->
           let budget = Fault.max_read_retries f in
-          let rec attempt k =
+          let base = t.sim.Tb_sim.Sim.cost.Tb_sim.Cost_model.read_retry_backoff_ms in
+          let rec attempt k scale =
             if k < budget && Fault.read_fails f then begin
-              Tb_sim.Sim.charge_read_retry t.sim;
-              attempt (k + 1)
+              Tb_sim.Sim.charge_read_retry t.sim
+                ~backoff_ms:(base *. scale *. Fault.backoff_jitter f);
+              attempt (k + 1) (scale *. 2.0)
             end
           in
-          attempt 0);
+          attempt 0 1.0);
       Tb_sim.Sim.charge_disk_read t.sim;
       let page = Disk.load_page t.disk id in
       server_add t id page;

@@ -619,6 +619,9 @@ let set_commit_hook t hook = t.on_commit <- hook
 let durable_fingerprint t =
   Tb_storage.Disk.durable_digest (Tb_storage.Cache_stack.disk t.stack)
 
+let durable_pages t =
+  Tb_storage.Disk.total_pages (Tb_storage.Cache_stack.disk t.stack)
+
 type recovery = {
   outcome : [ `Winner | `Loser ];
   torn_pages : int;

@@ -208,6 +208,10 @@ val set_commit_hook : t -> (seq:int -> unit) option -> unit
     identical committed data. *)
 val durable_fingerprint : t -> string
 
+(** Total durable pages across all files — the size of the checksum walk a
+    replica promotion verifies. *)
+val durable_pages : t -> int
+
 type recovery = {
   outcome : [ `Winner | `Loser ];
   torn_pages : int;  (** pages whose checksum exposed a torn write *)

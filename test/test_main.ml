@@ -1,3 +1,3 @@
 let () =
   Alcotest.run "treebench"
-    [ ("sim", Sim_tests.suite); ("storage", Storage_tests.suite); ("store", Store_tests.suite); ("recovery", Recovery_tests.suite); ("btree_prop", Btree_prop_tests.suite); ("codec", Codec_tests.suite); ("query", Query_tests.suite); ("op", Op_tests.suite); ("parity", Parity_tests.suite); ("shard_parity", Shard_parity_tests.suite); ("derby", Derby_tests.suite); ("statdb", Statdb_tests.suite); ("core", Core_tests.suite); ("oo7", Oo7_tests.suite); ("edge", Edge_tests.suite); ("invariance", Invariance_tests.suite) ]
+    [ ("sim", Sim_tests.suite); ("storage", Storage_tests.suite); ("store", Store_tests.suite); ("recovery", Recovery_tests.suite); ("btree_prop", Btree_prop_tests.suite); ("codec", Codec_tests.suite); ("query", Query_tests.suite); ("op", Op_tests.suite); ("parity", Parity_tests.suite); ("shard_parity", Shard_parity_tests.suite); ("chaos", Chaos_tests.suite); ("derby", Derby_tests.suite); ("statdb", Statdb_tests.suite); ("core", Core_tests.suite); ("oo7", Oo7_tests.suite); ("edge", Edge_tests.suite); ("invariance", Invariance_tests.suite) ]

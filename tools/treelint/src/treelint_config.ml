@@ -195,6 +195,10 @@ type t = {
   r4_creators : string list;
   r5_banned : string list;
   r5_allowed : string list;
+  (* R6: shard-failure exception constructors (raise or match sites) and the
+     modules allowed to touch them *)
+  r6_exceptions : string list;
+  r6_allowed : string list;
   (* "RULE Module [offender]" -> reason (must be non-empty) *)
   allow : (string * string) list;
 }
@@ -265,6 +269,8 @@ let of_entries entries =
     r4_creators = string_list entries "rules.r4" "creators" [];
     r5_banned = string_list entries "rules.r5" "banned" [];
     r5_allowed = string_list entries "rules.r5" "allowed" [];
+    r6_exceptions = string_list entries "rules.r6" "exceptions" [];
+    r6_allowed = string_list entries "rules.r6" "allowed" [];
     allow;
   }
 

@@ -1,6 +1,6 @@
 (* The analysis engine: loads the .cmt typed ASTs dune already emits, walks
    them once collecting value references, counter mutations and toplevel
-   state, and evaluates the five treelint rules.
+   state, and evaluates the six treelint rules.
 
    Everything works on *typed* trees: a polymorphic [=] is only flagged when
    its instantiated argument type is neither immediate nor one of the types
@@ -179,6 +179,8 @@ type module_facts = {
   m_occs : occurrence list;
   m_counter_sets : counter_set list;
   m_toplevels : toplevel list;
+  m_ext_constrs : (ref_info * Location.t) list;
+      (* extension constructors (exceptions) built or matched, for R6 *)
 }
 
 let iter_expr_idents f expr =
@@ -239,7 +241,20 @@ let collect_module ~(config : Config.t) ~modname ~lib ~source str =
       | _ -> ())
     str.Typedtree.str_items;
   let aliases = !aliases in
-  (* Pass 2: every value reference and counter mutation. *)
+  (* Pass 2: every value reference and counter mutation; also every
+     exception (extension constructor) built or matched, for R6.  The
+     constructor's defining path, not the use-site spelling, is what gets
+     normalized, so aliases and re-exports can't smuggle one past. *)
+  let ext_constrs = ref [] in
+  let record_constr (lid : Longident.t Location.loc)
+      (cd : Types.constructor_description) =
+    match cd.Types.cstr_tag with
+    | Types.Cstr_extension (p, _) ->
+        ext_constrs :=
+          (normalize_path ~config ~aliases (Path.name p), lid.Location.loc)
+          :: !ext_constrs
+    | _ -> ()
+  in
   let it =
     {
       Tast_iterator.default_iterator with
@@ -266,8 +281,15 @@ let collect_module ~(config : Config.t) ~modname ~lib ~source str =
                  counter_sets :=
                    { cs_field = lbl.Types.lbl_name; cs_loc = lid.Location.loc }
                    :: !counter_sets
+           | Typedtree.Texp_construct (lid, cd, _) -> record_constr lid cd
            | _ -> ());
           Tast_iterator.default_iterator.expr sub e);
+      pat =
+        (fun (type k) sub (p : k Typedtree.general_pattern) ->
+          (match p.Typedtree.pat_desc with
+           | Typedtree.Tpat_construct (lid, cd, _, _) -> record_constr lid cd
+           | _ -> ());
+          Tast_iterator.default_iterator.pat sub p);
       module_expr =
         (fun sub me ->
           (match me.Typedtree.mod_desc with
@@ -341,6 +363,7 @@ let collect_module ~(config : Config.t) ~modname ~lib ~source str =
     m_occs = List.rev !occs;
     m_counter_sets = List.rev !counter_sets;
     m_toplevels = List.rev !toplevels;
+    m_ext_constrs = List.rev !ext_constrs;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -588,7 +611,31 @@ let rule_r5 (config : Config.t) m =
         else None)
       m.m_occs
 
-let all_rules = [ rule_r1; rule_r2; rule_r3; rule_r4; rule_r5 ]
+(* R6 — shard-failure exceptions are the failover protocol's private
+   signalling: only the listed modules may construct or match them.  A
+   stray [try ... with Fault.Shard_down _] elsewhere would swallow a crash
+   the executor is supposed to turn into a failover (wrong results, no
+   failover frame); a stray raise would fake one. *)
+let rule_r6 (config : Config.t) m =
+  if List.exists (String.equal m.m_modname) config.r6_allowed then []
+  else
+    List.filter_map
+      (fun ((r : ref_info), loc) ->
+        if Config.matches_member config.r6_exceptions r.r_name then
+          Some
+            (Diag.make ~rule:"R6" ~loc ~modname:m.m_modname
+               ~offender:r.r_name
+               ~message:
+                 (Printf.sprintf
+                    "%s raised or matched outside the failover protocol \
+                     (only [%s] may) — handling a shard failure elsewhere \
+                     bypasses the executor's failover accounting"
+                    r.r_name
+                    (String.concat ", " config.r6_allowed)))
+        else None)
+      m.m_ext_constrs
+
+let all_rules = [ rule_r1; rule_r2; rule_r3; rule_r4; rule_r5; rule_r6 ]
 let rule_count = List.length all_rules
 
 (* ------------------------------------------------------------------ *)

@@ -1,0 +1,6 @@
+(* R6 fixture: shard-failure exceptions belong to the failover protocol;
+   both the raise and the handler pattern below are flagged. *)
+
+let kill shard = raise (Tb_storage.Fault.Shard_down shard)
+
+let swallow f = try f () with Tb_storage.Fault.Shard_down _ -> ()

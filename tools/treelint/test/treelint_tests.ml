@@ -60,6 +60,8 @@ let expected =
     ("R4", "r4_state.ml", 4, "forgotten");
     ("R5", "r5_unsafe.ml", 3, "Array.unsafe_get");
     ("R5", "r5_unsafe.ml", 5, "Bytes.unsafe_get");
+    ("R6", "r6_shard_down.ml", 4, "Fault.Shard_down");
+    ("R6", "r6_shard_down.ml", 6, "Fault.Shard_down");
   ]
 
 let describe (r, f, l, o) = Printf.sprintf "%s %s:%d %s" r f l o
@@ -72,8 +74,8 @@ let test_fixture_diagnostics () =
         (d.Diag.rule, Filename.basename d.Diag.file, d.Diag.line, d.Diag.offender))
       result.Engine.diagnostics
   in
-  check "fixture library scanned (10 modules)"
-    (result.Engine.files_scanned = 10);
+  check "fixture library scanned (12 modules)"
+    (result.Engine.files_scanned = 12);
   check
     (Printf.sprintf "fixture violation count (%d, want %d)"
        result.Engine.violations (List.length expected))
@@ -104,6 +106,13 @@ let test_fixture_diagnostics () =
     (not
        (List.exists
           (fun d -> Filename.basename d.Diag.file = "exchange.ml")
+          result.Engine.diagnostics));
+  (* The r6-allowed module: same raise/handler as r6_shard_down.ml, zero
+     diagnostics because "Failover" is in the allowed list. *)
+  check "failover.ml is clean under the r6 allowance"
+    (not
+       (List.exists
+          (fun d -> Filename.basename d.Diag.file = "failover.ml")
           result.Engine.diagnostics))
 
 let test_allowlist_member () =
