@@ -9,9 +9,40 @@ cd "$(dirname "$0")"
 
 dune build @all
 # Static discipline gate: charge accounting, layer DAG, determinism,
-# mutable-state registry and unsafe-op containment over the typed ASTs.
+# mutable-state registry, unsafe-op containment, and the interprocedural
+# dataflow rules (pin/release pairing, RNG-stream taint, charge/effect
+# ordering) over the typed ASTs.
 # Prints `treelint: N rules, M files, 0 violations` on success.
 dune build @lint
+# The same sweep again, driven directly: emit the SARIF artifact for CI
+# upload, prove the baseline holds an empty delta (every fingerprint in
+# treelint.baseline still corresponds to a live diagnostic — a rewrite
+# under --update-baseline must be a no-op), and require the content-hash
+# cache to cut a warm run below 25% of the cold one.
+TREELINT="./_build/default/tools/treelint/bin/treelint_main.exe"
+TREELINT_ARGS=(--config treelint.toml --baseline treelint.baseline \
+  --cmi _build/default/.fmt.objs/byte/fmt.cmi lib)
+now_ms() { echo $(( $(date +%s%N) / 1000000 )); }
+rm -f _build/treelint.cache
+t0=$(now_ms)
+"$TREELINT" "${TREELINT_ARGS[@]}" --cache _build/treelint.cache \
+  --sarif treelint.sarif > /dev/null
+t_cold=$(( $(now_ms) - t0 ))
+t0=$(now_ms)
+"$TREELINT" "${TREELINT_ARGS[@]}" --cache _build/treelint.cache > /dev/null
+t_warm=$(( $(now_ms) - t0 ))
+echo "treelint: cold ${t_cold}ms, warm ${t_warm}ms (sarif: treelint.sarif)"
+if [ $(( t_warm * 4 )) -ge "$t_cold" ]; then
+  echo "treelint: warm cache run took >=25% of the cold run" >&2
+  exit 1
+fi
+cp -f treelint.baseline _build/treelint.baseline.orig 2>/dev/null || \
+  touch _build/treelint.baseline.orig
+"$TREELINT" "${TREELINT_ARGS[@]}" --update-baseline > /dev/null
+if ! diff -u _build/treelint.baseline.orig treelint.baseline; then
+  echo "treelint: baseline delta is not empty — stale grandfathered entries" >&2
+  exit 1
+fi
 # runtest also diffs the plan-lowering / explain snapshots in test/snapshot/
 # against their committed expectations (including the sharded S=1/S=4
 # matrix); after an intentional plan or operator change — including

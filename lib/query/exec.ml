@@ -199,12 +199,14 @@ and iter_envs st node emit =
                 Op.Acct.enter st.acct fr;
                 fr.Op.rows_in <- fr.Op.rows_in + 1;
                 let h = Database.acquire db rid in
-                if eval h then begin
-                  fr.Op.rows_out <- fr.Op.rows_out + 1;
-                  emit [ (var, Op.Live h) ];
-                  Op.Acct.enter st.acct fr
-                end;
-                Database.unref db h)
+                Fun.protect
+                  ~finally:(fun () -> Database.unref db h)
+                  (fun () ->
+                    if eval h then begin
+                      fr.Op.rows_out <- fr.Op.rows_out + 1;
+                      emit [ (var, Op.Live h) ];
+                      Op.Acct.enter st.acct fr
+                    end))
               rids)
       end
   | Op.Nav_set { child; set_attr; owner_cls; nav_var; nav_cls; preds } ->
@@ -219,12 +221,14 @@ and iter_envs st node emit =
               match elt with
               | Value.Ref crid ->
                   let ch = Database.acquire db crid in
-                  if Operators.eval_preds db ch cpreds then begin
-                    fr.Op.rows_out <- fr.Op.rows_out + 1;
-                    emit ((nav_var, Op.Live ch) :: env);
-                    Op.Acct.enter st.acct fr
-                  end;
-                  Database.unref db ch
+                  Fun.protect
+                    ~finally:(fun () -> Database.unref db ch)
+                    (fun () ->
+                      if Operators.eval_preds db ch cpreds then begin
+                        fr.Op.rows_out <- fr.Op.rows_out + 1;
+                        emit ((nav_var, Op.Live ch) :: env);
+                        Op.Acct.enter st.acct fr
+                      end)
               | Value.Nil -> ()
               | _ -> invalid_arg "Exec: collection element is not a reference"))
   | Op.Nav_inverse { child; inv_attr; owner_cls; nav_var; nav_cls; preds } ->
@@ -237,12 +241,14 @@ and iter_envs st node emit =
           match Database.get_att_slot db ch inv_slot with
           | Value.Ref prid ->
               let ph = Database.acquire db prid in
-              if Operators.eval_preds db ph cpreds then begin
-                fr.Op.rows_out <- fr.Op.rows_out + 1;
-                emit ((nav_var, Op.Live ph) :: env);
-                Op.Acct.enter st.acct fr
-              end;
-              Database.unref db ph
+              Fun.protect
+                ~finally:(fun () -> Database.unref db ph)
+                (fun () ->
+                  if Operators.eval_preds db ph cpreds then begin
+                    fr.Op.rows_out <- fr.Op.rows_out + 1;
+                    emit ((nav_var, Op.Live ph) :: env);
+                    Op.Acct.enter st.acct fr
+                  end)
           | Value.Nil -> ()
           | _ -> invalid_arg "Exec: inverse attribute is not a reference")
   | Op.Hash_probe { build; probe; probe_key; probe_cls; build_var; probe_var }
@@ -772,32 +778,41 @@ let run_exchange_dest acct db xl ~keep ~(bx : (Rid.t * Op.payload) Exchange.t)
         (Exchange.take bx ~dest:xl.xl_shard);
       Exchange.release_dest bx ~dest:xl.xl_shard;
       let result = Query_result.create ?aggregate sim ~keep in
-      Op.Acct.enter acct hp_fr;
-      List.iter
-        (fun (key, pl) ->
-          hp_fr.Op.rows_in <- hp_fr.Op.rows_in + 1;
-          List.iter
-            (fun bp ->
-              hp_fr.Op.rows_out <- hp_fr.Op.rows_out + 1;
-              Op.Acct.enter acct proj_fr;
-              proj_fr.Op.rows_in <- proj_fr.Op.rows_in + 1;
-              let lookup v =
-                if String.equal v xl.xl_build_var then Op.Stored bp
-                else if String.equal v xl.xl_probe_var then Op.Stored pl
-                else invalid_arg ("Exec: unknown var " ^ v)
-              in
-              let v = Operators.eval_select db select ~lookup in
-              proj_fr.Op.rows_out <- proj_fr.Op.rows_out + 1;
-              Op.Acct.enter acct mat_fr;
-              mat_fr.Op.rows_in <- mat_fr.Op.rows_in + 1;
-              Query_result.append result v;
-              mat_fr.Op.rows_out <- mat_fr.Op.rows_out + 1;
-              Op.Acct.enter acct hp_fr)
-            (Mem_hash.find table ~key))
-        (Exchange.take px ~dest:xl.xl_shard);
-      Exchange.release_dest px ~dest:xl.xl_shard;
-      Op.Acct.enter acct mat_fr;
-      mat_fr.Op.bytes <- Query_result.size_bytes result;
+      (* The result survives the return — the gather owns it — but a raise
+         while probing must not leak its claimed bytes: dispose on the
+         unwind (the failover path then rebuilds on the replica). *)
+      (match
+         Op.Acct.enter acct hp_fr;
+         List.iter
+           (fun (key, pl) ->
+             hp_fr.Op.rows_in <- hp_fr.Op.rows_in + 1;
+             List.iter
+               (fun bp ->
+                 hp_fr.Op.rows_out <- hp_fr.Op.rows_out + 1;
+                 Op.Acct.enter acct proj_fr;
+                 proj_fr.Op.rows_in <- proj_fr.Op.rows_in + 1;
+                 let lookup v =
+                   if String.equal v xl.xl_build_var then Op.Stored bp
+                   else if String.equal v xl.xl_probe_var then Op.Stored pl
+                   else invalid_arg ("Exec: unknown var " ^ v)
+                 in
+                 let v = Operators.eval_select db select ~lookup in
+                 proj_fr.Op.rows_out <- proj_fr.Op.rows_out + 1;
+                 Op.Acct.enter acct mat_fr;
+                 mat_fr.Op.rows_in <- mat_fr.Op.rows_in + 1;
+                 Query_result.append result v;
+                 mat_fr.Op.rows_out <- mat_fr.Op.rows_out + 1;
+                 Op.Acct.enter acct hp_fr)
+               (Mem_hash.find table ~key))
+           (Exchange.take px ~dest:xl.xl_shard);
+         Exchange.release_dest px ~dest:xl.xl_shard;
+         Op.Acct.enter acct mat_fr;
+         mat_fr.Op.bytes <- Query_result.size_bytes result
+       with
+      | () -> ()
+      | exception e ->
+          Query_result.dispose result;
+          raise e);
       result)
 
 let run_sharded_explained smap root ~keep =
@@ -857,15 +872,15 @@ let run_sharded_explained smap root ~keep =
       let bx : (Rid.t * Op.payload) Exchange.t =
         Exchange.create ~fault_of sim ~shards
       in
+      (* Nested protects, one per exchange: with a single shared finally,
+         the second [create] raising — or the first dispose unwinding past
+         the second — would leak the survivor's claimed buffers. *)
+      Fun.protect ~finally:(fun () -> Exchange.dispose bx) @@ fun () ->
       let px : (Rid.t * Op.payload) Exchange.t =
         Exchange.create ~fault_of sim ~shards
       in
-      Fun.protect
-        ~finally:(fun () ->
-          Exchange.dispose bx;
-          Exchange.dispose px)
-        (fun () ->
-          let scope_a = Tb_sim.Clock.fork clock ~lanes:shards in
+      Fun.protect ~finally:(fun () -> Exchange.dispose px) @@ fun () ->
+      let scope_a = Tb_sim.Clock.fork clock ~lanes:shards in
           Array.iteri
             (fun i xl ->
               Tb_sim.Clock.enter_lane scope_a i;
@@ -925,7 +940,7 @@ let run_sharded_explained smap root ~keep =
                 Tb_sim.Clock.lane_ms scope_a i +. Tb_sim.Clock.lane_ms scope_b i)
             lane_ms;
           Tb_sim.Clock.join scope_b;
-          partials)
+          partials
     end
     else begin
       (* Shard-local plan: one scope, each lane drives its own subtree.

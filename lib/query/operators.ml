@@ -120,10 +120,18 @@ let charge_external_sort sim ~elems ~bytes =
    prepends — is part of the deterministic contract. *)
 let claim_and_sort sim kvs ~bytes =
   Sim.claim_bytes sim bytes;
-  let arr = Array.of_list kvs in
-  charge_external_sort sim ~elems:(Array.length arr) ~bytes;
-  Array.sort (fun (a, _) (b, _) -> Rid.compare a b) arr;
-  arr
+  (* The claim deliberately survives the return — the caller owns it — but
+     must not survive a raise below, or the bytes would never be released. *)
+  match
+    let arr = Array.of_list kvs in
+    charge_external_sort sim ~elems:(Array.length arr) ~bytes;
+    Array.sort (fun (a, _) (b, _) -> Rid.compare a b) arr;
+    arr
+  with
+  | arr -> arr
+  | exception e ->
+      Sim.release_bytes sim bytes;
+      raise e
 
 let release_bytes sim n = Sim.release_bytes sim n
 

@@ -1,0 +1,71 @@
+(* Content-hash incremental cache.
+
+   The cache key is the full analysis input: the digest of every scanned
+   .cmt, plus an opaque [salt] the caller derives from everything else
+   that shapes the result (config file, baseline file, tool version).
+   Reuse is all-or-nothing: any drifted digest, added or removed file, or
+   salt change discards the cache and the whole run recomputes.  That
+   keeps the invariant trivial — a warm run's findings are byte-identical
+   to a cold run's because they *are* the cold run's findings.
+
+   The payload is the marshalled diagnostic list (plain data plus a
+   mutable status field, which Marshal round-trips fine). *)
+
+module Diag = Treelint_diag
+
+let format_tag = "treelint-cache-3"
+
+type key = {
+  k_salt : string;
+  k_files : (string * string) list;  (* cmt path -> Digest.to_hex, sorted *)
+}
+
+let digest_file path = Digest.to_hex (Digest.file path)
+
+let digest_string s = Digest.to_hex (Digest.string s)
+
+let key ~salt files =
+  let entries =
+    List.filter_map
+      (fun f ->
+        match digest_file f with
+        | d -> Some (f, d)
+        | exception Sys_error _ -> None)
+      files
+  in
+  { k_salt = salt; k_files = List.sort compare entries }
+
+type entry = {
+  e_tag : string;
+  e_key : key;
+  e_diags : Diag.t list;
+  e_files_scanned : int;
+}
+
+let load ~path (k : key) : (Diag.t list * int) option =
+  if not (Sys.file_exists path) then None
+  else
+    match open_in_bin path with
+    | exception Sys_error _ -> None
+    | ic ->
+        let r =
+          match (Marshal.from_channel ic : entry) with
+          | e when e.e_tag = format_tag && e.e_key = k ->
+              Some (e.e_diags, e.e_files_scanned)
+          | _ -> None
+          | exception _ -> None
+        in
+        close_in_noerr ic;
+        r
+
+let store ~path (k : key) diags ~files_scanned =
+  let tmp = path ^ ".tmp" in
+  match open_out_bin tmp with
+  | exception Sys_error _ -> ()
+  | oc ->
+      Marshal.to_channel oc
+        { e_tag = format_tag; e_key = k; e_diags = diags;
+          e_files_scanned = files_scanned }
+        [];
+      close_out oc;
+      (try Sys.rename tmp path with Sys_error _ -> ())

@@ -1,0 +1,87 @@
+(* Call graph over the CFGs of every scanned module.
+
+   Resolution is name-based for qualified calls ("Operators.release_bytes")
+   and stamp-based for local ones: a call whose callee is a let-bound
+   function resolves through the enclosing fn's [fn_locals], then the
+   module's toplevel binding table.  Unresolved calls are external —
+   the rules treat them by name (config member lists) or worst-case.
+
+   Summaries live here as an untyped store keyed by fn_id; the dataflow
+   rules own their contents.  [fixpoint] drives rounds of per-function
+   analysis until no summary changes, in deterministic module/function
+   order (bounded: summaries only grow and the lattices are finite). *)
+
+module Cfg = Treelint_cfg
+
+type t = {
+  fns : (string, Cfg.fn) Hashtbl.t;  (* fn_id -> fn *)
+  mods : (string, Cfg.mod_cfg) Hashtbl.t;  (* module name -> cfg *)
+  order : Cfg.fn list;  (* deterministic analysis order *)
+}
+
+let build (mods : Cfg.mod_cfg list) : t =
+  let fns = Hashtbl.create 256 in
+  let mtbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun mc ->
+      Hashtbl.replace mtbl mc.Cfg.mc_module mc;
+      List.iter
+        (fun (fn : Cfg.fn) ->
+          Hashtbl.replace fns fn.Cfg.fn_id fn;
+          order := fn :: !order)
+        mc.Cfg.mc_fns)
+    mods;
+  { fns; mods = mtbl; order = List.rev !order }
+
+let find t fn_id = Hashtbl.find_opt t.fns fn_id
+
+(* Resolve a call made from [fn] to a known fn_id, if any.  Qualified
+   names hit the table directly; an unqualified name is first scoped to
+   the caller's module (a call to a sibling toplevel), and stamp-based
+   resolution through [fn_locals]/[mc_toplevel] covers let-bound
+   functions whatever their printed name. *)
+let resolve t (fn : Cfg.fn) (c : Cfg.call) : string option =
+  let by_name name =
+    if name <> "" && Hashtbl.mem t.fns name then Some name else None
+  in
+  let by_stamp () =
+    if c.Cfg.c_fn < 0 then None
+    else
+      match List.assoc_opt c.Cfg.c_fn fn.Cfg.fn_locals with
+      | Some id -> if Hashtbl.mem t.fns id then Some id else None
+      | None -> (
+          match Hashtbl.find_opt t.mods fn.Cfg.fn_module with
+          | Some mc -> (
+              match List.assoc_opt c.Cfg.c_fn mc.Cfg.mc_toplevel with
+              | Some id when Hashtbl.mem t.fns id -> Some id
+              | _ -> None)
+          | None -> None)
+  in
+  match by_name c.Cfg.c_name with
+  | Some id -> Some id
+  | None -> (
+      match by_stamp () with
+      | Some id -> Some id
+      | None ->
+          if String.contains c.Cfg.c_name '.' then None
+          else by_name (fn.Cfg.fn_module ^ "." ^ c.Cfg.c_name))
+
+(* Generic summary store: the rules stash whatever record they like. *)
+type 'a summaries = (string, 'a) Hashtbl.t
+
+let new_summaries () : 'a summaries = Hashtbl.create 256
+let summary (s : 'a summaries) fn_id = Hashtbl.find_opt s fn_id
+
+(* Run [analyze] over every function until summaries stabilize.
+   [analyze] returns true when it changed the summary store.  The round
+   cap is a backstop: the rule lattices are finite so convergence is
+   expected well before it. *)
+let fixpoint t ~max_rounds analyze =
+  let rounds = ref 0 in
+  let changed = ref true in
+  while !changed && !rounds < max_rounds do
+    incr rounds;
+    changed := false;
+    List.iter (fun fn -> if analyze fn then changed := true) t.order
+  done

@@ -1,0 +1,855 @@
+(* Control-flow graphs over dune's .cmt Typedtrees.
+
+   Each function-like body — a toplevel `let f args = ...`, a let-bound
+   local helper, a lambda passed to an iterator — is lowered to a small CFG
+   whose nodes carry dataflow events (binds, field reads, escapes, returns)
+   and terminate in at most one call, raise or fallthrough.  Exceptional
+   control flow is explicit: every node that can raise has exception
+   successors, `try`/`match ... exception` handlers become dispatch nodes
+   with an implicit re-raise edge, and `Fun.protect ~finally` is inlined on
+   both the normal and the exceptional path so release-in-finally protocols
+   are visible to the rules.
+
+   The graphs deliberately approximate:
+   - pattern destructuring is value flow from the scrutinee to every
+     binder (fine for taint, alias-widening for resources);
+   - a variable captured by a lambda, stored in a ref/structure or
+     returned escapes — the obligation it carries shifts to whoever holds
+     the structure (treelint summaries pick returns up, the rest is the
+     caller's contract);
+   - whether a call can raise is the *rules'* decision (config `total`
+     lists plus computed summaries); the graph always carries the edge. *)
+
+type var = int
+(* An [Ident] stamp for source variables; negative for synthetic values
+   (call results, branch phis). *)
+
+type event =
+  | Bind of { dst : var; src : var; loc : Location.t }
+      (* value flow: let-alias, pattern binder, branch phi, structure
+         component *)
+  | Field_get of { dst : var; owner : string; is_rng : bool; loc : Location.t }
+      (* [e.f] on a record declared by module [owner]; [is_rng] when the
+         label's type is the simulator's [Rng.t] — stream provenance *)
+  | Escape of { v : var; how : string; loc : Location.t }
+  | Return of { v : var; loc : Location.t }  (* flows to the fn result *)
+
+type call = {
+  c_name : string;  (* normalized qualified callee, "" when local/unknown *)
+  c_fn : var;       (* callee stamp when it is a local variable, else -1 *)
+  c_args : var list;  (* ident arguments, borrow semantics *)
+  c_ret : var;
+  c_loc : Location.t;
+}
+
+type term =
+  | Fallthrough
+  | Tcall of call  (* may raise — the rules decide — via n_exn *)
+  | Traise         (* raise/failwith/invalid_arg/assert false: always n_exn *)
+
+type node = {
+  mutable n_ev : event list;  (* reversed while building; events precede term *)
+  mutable n_term : term;
+  mutable n_succ : int list;
+  mutable n_exn : int list;
+}
+
+type fn = {
+  fn_id : string;       (* "Exec.iter_envs", "Exec.iter_envs#2" for lambdas *)
+  fn_module : string;
+  fn_params : var list;
+  fn_loc : Location.t;
+  fn_nodes : node array;
+  fn_entry : int;
+  fn_exit : int;      (* normal exit *)
+  fn_exn_exit : int;  (* exceptional exit *)
+  fn_vars : (var * string) list;    (* stamp -> source name, for messages *)
+  fn_locals : (var * string) list;  (* let-bound function stamp -> fn_id *)
+}
+
+type mod_cfg = {
+  mc_module : string;
+  mc_fns : fn list;
+  mc_toplevel : (var * string) list;  (* toplevel binding stamp -> fn_id *)
+}
+
+type hooks = {
+  h_norm : Path.t -> string;
+      (* normalized qualified name ("Sim.charge_sort", "Hashtbl.add"),
+         "" for local idents *)
+  h_field : Types.label_description -> (string * bool) option;
+      (* Some (record owner module, label type is the simulator Rng.t) *)
+}
+
+let no_var = -1
+
+(* Calls that store an argument into a longer-lived structure: the stored
+   value escapes the current frame.  Constructs/records/tuples are handled
+   structurally; this list covers the stdlib's imperative sinks. *)
+let store_calls =
+  [ ":="; "ref"; "Hashtbl.add"; "Hashtbl.replace"; "Queue.add"; "Queue.push";
+    "Stack.push"; "Array.set"; "Array.unsafe_set"; "Bytes.set" ]
+
+let raise_calls = [ "raise"; "raise_notrace"; "failwith"; "invalid_arg" ]
+
+(* ------------------------------------------------------------------ *)
+(* Growable node store                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Vec = struct
+  type 'a t = { mutable a : 'a array; mutable n : int; dummy : 'a }
+
+  let create dummy = { a = Array.make 16 dummy; n = 0; dummy }
+
+  let push t x =
+    if t.n = Array.length t.a then begin
+      let a' = Array.make (2 * t.n) t.dummy in
+      Array.blit t.a 0 a' 0 t.n;
+      t.a <- a'
+    end;
+    t.a.(t.n) <- x;
+    t.n <- t.n + 1;
+    t.n - 1
+
+  let get t i = t.a.(i)
+  let to_array t = Array.sub t.a 0 t.n
+end
+
+(* ------------------------------------------------------------------ *)
+(* Builder                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  hooks : hooks;
+  modname : string;
+  vars_tbl : (string, int) Hashtbl.t;
+      (* Ident.unique_name -> var, for every binding seen so far; doubles
+         as the "known" set for capture detection *)
+  mutable next : int;
+  mutable subs : fn list;  (* lowered sub-functions, reversed *)
+}
+
+let lookup_var ctx id = Hashtbl.find_opt ctx.vars_tbl (Ident.unique_name id)
+
+let intern_var ctx id =
+  match lookup_var ctx id with
+  | Some v -> v
+  | None ->
+      let v = ctx.next in
+      ctx.next <- v + 1;
+      Hashtbl.add ctx.vars_tbl (Ident.unique_name id) v;
+      v
+
+type builder = {
+  ctx : ctx;
+  fn_id : string;
+  nodes : node Vec.t;
+  mutable fresh : var;
+  mutable vars : (var * string) list;
+  mutable locals : (var * string) list;
+  mutable nsub : int;  (* per-enclosing-function lambda counter *)
+}
+
+let dummy_node = { n_ev = []; n_term = Fallthrough; n_succ = []; n_exn = [] }
+
+let new_builder ctx fn_id =
+  {
+    ctx;
+    fn_id;
+    nodes = Vec.create dummy_node;
+    fresh = -1;
+    vars = [];
+    locals = [];
+    nsub = 0;
+  }
+
+let new_node b =
+  Vec.push b.nodes { n_ev = []; n_term = Fallthrough; n_succ = []; n_exn = [] }
+
+let node b i = Vec.get b.nodes i
+let add_ev b i ev = (node b i).n_ev <- ev :: (node b i).n_ev
+
+let link b i j =
+  if not (List.mem j (node b i).n_succ) then
+    (node b i).n_succ <- j :: (node b i).n_succ
+
+let link_exn b i j =
+  if not (List.mem j (node b i).n_exn) then
+    (node b i).n_exn <- j :: (node b i).n_exn
+
+let fresh_var b =
+  b.fresh <- b.fresh - 1;
+  b.fresh
+
+let bind_var b id name =
+  let v = intern_var b.ctx id in
+  if not (List.mem_assoc v b.vars) then b.vars <- (v, name) :: b.vars;
+  v
+
+(* All binders of a pattern, as value flow from [src]. *)
+let rec bind_pattern : type k.
+    builder -> int -> k Typedtree.general_pattern -> src:var -> unit =
+ fun b cur pat ~src ->
+  let open Typedtree in
+  let recurse p = bind_pattern b cur p ~src in
+  match pat.pat_desc with
+  | Tpat_var (id, { txt; loc }) ->
+      let v = bind_var b id txt in
+      add_ev b cur (Bind { dst = v; src; loc })
+  | Tpat_alias (p, id, { txt; loc }) ->
+      let v = bind_var b id txt in
+      add_ev b cur (Bind { dst = v; src; loc });
+      recurse p
+  | Tpat_tuple ps | Tpat_array ps -> List.iter recurse ps
+  | Tpat_construct (_, _, ps, _) -> List.iter recurse ps
+  | Tpat_variant (_, po, _) -> Option.iter recurse po
+  | Tpat_record (fields, _) -> List.iter (fun (_, _, p) -> recurse p) fields
+  | Tpat_lazy p -> recurse p
+  | Tpat_or (p, q, _) ->
+      recurse p;
+      recurse q
+  | Tpat_value p -> recurse (p :> value general_pattern)
+  | Tpat_exception p -> recurse p
+  | Tpat_any | Tpat_constant _ -> ()
+
+(* A pattern that matches every value: a catch-all handler case kills the
+   re-raise edge (nothing escapes past it). *)
+let rec irrefutable (p : Typedtree.pattern) =
+  match p.Typedtree.pat_desc with
+  | Typedtree.Tpat_any | Typedtree.Tpat_var _ -> true
+  | Typedtree.Tpat_alias (q, _, _) -> irrefutable q
+  | _ -> false
+
+(* Stamps of already-bound variables referenced inside [expr] — the capture
+   set of a lambda. *)
+let referenced_known ctx expr =
+  let caps = ref [] in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.Typedtree.exp_desc with
+          | Typedtree.Texp_ident (Path.Pident id, _, _) -> (
+              match lookup_var ctx id with
+              | Some s when not (List.mem s !caps) -> caps := s :: !caps
+              | _ -> ())
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it expr;
+  List.rev !caps
+
+let is_function e =
+  match e.Typedtree.exp_desc with
+  | Typedtree.Texp_function _ -> true
+  | _ -> false
+
+(* Flatten nested Texp_apply (partial application re-applied) into one
+   callee + argument list. *)
+let rec flatten_apply callee args =
+  match callee.Typedtree.exp_desc with
+  | Typedtree.Texp_apply (inner, inner_args) ->
+      flatten_apply inner (inner_args @ args)
+  | _ -> (callee, args)
+
+let callee_name hooks callee =
+  match callee.Typedtree.exp_desc with
+  | Typedtree.Texp_ident (p, _, _) -> hooks.h_norm p
+  | _ -> ""
+
+(* ------------------------------------------------------------------ *)
+(* Expression lowering                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* [low b ~cur ~exn e] lowers [e] starting in node [cur] with exceptional
+   edges routed to [exn]; returns the node control falls out of and the
+   variable holding the value (no_var when uninteresting). *)
+let rec low b ~cur ~exn (e : Typedtree.expression) : int * var =
+  let open Typedtree in
+  let loc = e.exp_loc in
+  match e.exp_desc with
+  | Texp_ident (Path.Pident id, _, _) when lookup_var b.ctx id <> None ->
+      (cur, Option.get (lookup_var b.ctx id))
+  | Texp_ident _ | Texp_constant _ | Texp_instvar _ | Texp_override _
+  | Texp_object _ | Texp_pack _ | Texp_extension_constructor _ | Texp_new _ ->
+      (cur, no_var)
+  | Texp_let (_, vbs, body) ->
+      let cur =
+        List.fold_left (fun cur vb -> lower_binding b ~cur ~exn vb) cur vbs
+      in
+      low b ~cur ~exn body
+  | Texp_function _ ->
+      ignore (lower_lambda b ~cur e);
+      (cur, no_var)
+  | Texp_apply (callee, args) -> low_apply b ~cur ~exn ~loc callee args
+  | Texp_match (scrut, cases, partial) ->
+      low_match b ~cur ~exn ~loc scrut cases partial
+  | Texp_try (body, cases) -> low_try b ~cur ~exn ~loc body cases
+  | Texp_tuple es -> low_struct b ~cur ~exn ~loc "tuple" es
+  | Texp_construct (_, _, es) -> low_struct b ~cur ~exn ~loc "construct" es
+  | Texp_variant (_, eo) ->
+      low_struct b ~cur ~exn ~loc "variant" (Option.to_list eo)
+  | Texp_array es -> low_struct b ~cur ~exn ~loc "array" es
+  | Texp_record { fields; extended_expression; _ } ->
+      let cur0, init =
+        match extended_expression with
+        | None -> (cur, [])
+        | Some ex ->
+            let c, v = low b ~cur ~exn ex in
+            (c, if v <> no_var then [ v ] else [])
+      in
+      let cur = ref cur0 in
+      let parts = ref init in
+      Array.iter
+        (fun (_, def) ->
+          match def with
+          | Kept _ -> ()
+          | Overridden (_, fe) ->
+              let c, v = low b ~cur:!cur ~exn fe in
+              cur := c;
+              if v <> no_var then parts := v :: !parts)
+        fields;
+      let dst = fresh_var b in
+      List.iter
+        (fun v ->
+          add_ev b !cur (Bind { dst; src = v; loc });
+          add_ev b !cur (Escape { v; how = "stored in record"; loc }))
+        !parts;
+      (!cur, dst)
+  | Texp_field (r, _, lbl) ->
+      let cur, _rv = low b ~cur ~exn r in
+      let dst = fresh_var b in
+      (match b.ctx.hooks.h_field lbl with
+      | Some (owner, is_rng) ->
+          add_ev b cur (Field_get { dst; owner; is_rng; loc })
+      | None -> ());
+      (cur, dst)
+  | Texp_setfield (r, _, _, v) ->
+      let cur, _ = low b ~cur ~exn r in
+      let cur, vv = low b ~cur ~exn v in
+      if vv <> no_var then
+        add_ev b cur (Escape { v = vv; how = "stored in mutable field"; loc });
+      (cur, no_var)
+  | Texp_ifthenelse (cond, et, eo) ->
+      let cur, _ = low b ~cur ~exn cond in
+      let m = new_node b in
+      let phi = fresh_var b in
+      let branch e0 =
+        let bn = new_node b in
+        link b cur bn;
+        let bend, bv = low b ~cur:bn ~exn e0 in
+        if bv <> no_var then add_ev b bend (Bind { dst = phi; src = bv; loc });
+        link b bend m
+      in
+      branch et;
+      (match eo with Some ee -> branch ee | None -> link b cur m);
+      (m, phi)
+  | Texp_sequence (e1, e2) ->
+      let cur, _ = low b ~cur ~exn e1 in
+      low b ~cur ~exn e2
+  | Texp_while (cond, body) ->
+      let nc = new_node b in
+      link b cur nc;
+      let cend, _ = low b ~cur:nc ~exn cond in
+      let nb = new_node b in
+      let nexit = new_node b in
+      link b cend nb;
+      link b cend nexit;
+      let bend, _ = low b ~cur:nb ~exn body in
+      link b bend nc;
+      (nexit, no_var)
+  | Texp_for (id, _, lo, hi, _, body) ->
+      let cur, _ = low b ~cur ~exn lo in
+      let cur, _ = low b ~cur ~exn hi in
+      let v = bind_var b id (Ident.name id) in
+      add_ev b cur (Bind { dst = v; src = no_var; loc });
+      let nh = new_node b in
+      link b cur nh;
+      let nb = new_node b in
+      let nexit = new_node b in
+      link b nh nb;
+      link b nh nexit;
+      let bend, _ = low b ~cur:nb ~exn body in
+      link b bend nh;
+      (nexit, no_var)
+  | Texp_assert (cond, _) -> (
+      let cur, _ = low b ~cur ~exn cond in
+      match cond.exp_desc with
+      | Texp_construct (_, c, []) when c.Types.cstr_name = "false" ->
+          (node b cur).n_term <- Traise;
+          link_exn b cur exn;
+          (new_node b, no_var)  (* unreachable continuation *)
+      | _ ->
+          emit_call b ~cur ~exn
+            {
+              c_name = "assert";
+              c_fn = no_var;
+              c_args = [];
+              c_ret = fresh_var b;
+              c_loc = loc;
+            })
+  | Texp_lazy body ->
+      (* eager approximation: the thunk's effects analyzed in place *)
+      low b ~cur ~exn body
+  | Texp_send (obj, _) ->
+      let cur, _ = low b ~cur ~exn obj in
+      emit_call b ~cur ~exn
+        {
+          c_name = "#send";
+          c_fn = no_var;
+          c_args = [];
+          c_ret = fresh_var b;
+          c_loc = loc;
+        }
+  | Texp_letmodule (_, _, _, _, body) -> low b ~cur ~exn body
+  | Texp_letexception (_, body) -> low b ~cur ~exn body
+  | Texp_open (_, body) -> low b ~cur ~exn body
+  | Texp_letop { let_; ands; body; _ } ->
+      let cur = ref cur in
+      List.iter
+        (fun (bop : binding_op) ->
+          let c, _ = low b ~cur:!cur ~exn bop.bop_exp in
+          cur := c)
+        (let_ :: ands);
+      let src = fresh_var b in
+      bind_pattern b !cur body.c_lhs ~src;
+      low b ~cur:!cur ~exn body.c_rhs
+  | Texp_unreachable ->
+      (node b cur).n_term <- Traise;
+      link_exn b cur exn;
+      (new_node b, no_var)
+  | _ -> (cur, no_var)  (* setinstvar and friends: nothing to track *)
+
+(* One let binding: named local functions are lowered as sub-fns and
+   remembered in [locals]; everything else is plain value flow. *)
+and lower_binding b ~cur ~exn (vb : Typedtree.value_binding) =
+  let open Typedtree in
+  if is_function vb.vb_expr then begin
+    (match vb.vb_pat.pat_desc with
+    | Tpat_var (id, { txt; _ }) | Tpat_alias (_, id, { txt; _ }) ->
+        let v = bind_var b id txt in
+        let fid = lower_lambda b ~cur ~name:txt vb.vb_expr in
+        b.locals <- (v, fid) :: b.locals
+    | _ -> ignore (lower_lambda b ~cur vb.vb_expr));
+    cur
+  end
+  else begin
+    let cur, v = low b ~cur ~exn vb.vb_expr in
+    bind_pattern b cur vb.vb_pat ~src:v;
+    cur
+  end
+
+(* Structured values: children flow into a fresh composite and escape. *)
+and low_struct b ~cur ~exn ~loc how es =
+  let cur = ref cur in
+  let parts = ref [] in
+  List.iter
+    (fun ce ->
+      let c, v = low b ~cur:!cur ~exn ce in
+      cur := c;
+      if v <> no_var then parts := v :: !parts)
+    es;
+  let dst = fresh_var b in
+  List.iter
+    (fun v ->
+      add_ev b !cur (Bind { dst; src = v; loc });
+      add_ev b !cur (Escape { v; how = "stored in " ^ how; loc }))
+    !parts;
+  (!cur, dst)
+
+(* A lambda in value position: lowered as a standalone sub-function; its
+   captures escape the enclosing frame (the closure owns them now). *)
+and lower_lambda b ~cur ?name (e : Typedtree.expression) : string =
+  b.nsub <- b.nsub + 1;
+  let fid =
+    match name with
+    | Some n -> b.fn_id ^ "." ^ n
+    | None -> Printf.sprintf "%s#%d" b.fn_id b.nsub
+  in
+  let caps = referenced_known b.ctx e in
+  List.iter
+    (fun s ->
+      add_ev b cur
+        (Escape { v = s; how = "captured by closure"; loc = e.exp_loc }))
+    caps;
+  let fn = lower_function b.ctx ~fn_id:fid e in
+  b.ctx.subs <- fn :: b.ctx.subs;
+  fid
+
+(* Applications, with @@ / |> rewriting, Fun.protect inlining, and the
+   raise family mapped to Traise. *)
+and low_apply b ~cur ~exn ~loc callee args =
+  let open Typedtree in
+  let callee, args = flatten_apply callee args in
+  let name = callee_name b.ctx.hooks callee in
+  let positional = List.filter_map (fun (_, a) -> a) args in
+  match (name, positional) with
+  | "@@", f :: rest when rest <> [] ->
+      low_apply b ~cur ~exn ~loc f
+        (List.map (fun a -> (Asttypes.Nolabel, Some a)) rest)
+  | "|>", [ x; f ] ->
+      low_apply b ~cur ~exn ~loc f [ (Asttypes.Nolabel, Some x) ]
+  | "Fun.protect", _ -> low_protect b ~cur ~exn ~loc args
+  | _ ->
+      if is_function callee then ignore (lower_lambda b ~cur callee);
+      (* arguments left to right: idents borrow, lambdas become sub-fns,
+         sub-expressions lower inline *)
+      let cur = ref cur in
+      let argv = ref [] in
+      List.iter
+        (fun (_, a) ->
+          match a with
+          | None -> ()
+          | Some ae when is_function ae -> ignore (lower_lambda b ~cur:!cur ae)
+          | Some ae ->
+              let c, v = low b ~cur:!cur ~exn ae in
+              cur := c;
+              argv := v :: !argv)
+        args;
+      let argv = List.rev (List.filter (fun v -> v <> no_var) !argv) in
+      if List.mem name raise_calls then begin
+        (node b !cur).n_term <- Traise;
+        link_exn b !cur exn;
+        (new_node b, no_var)
+      end
+      else begin
+        if List.mem name store_calls then
+          List.iter
+            (fun v ->
+              add_ev b !cur (Escape { v; how = "stored via " ^ name; loc }))
+            argv;
+        let c_fn =
+          match callee.exp_desc with
+          | Texp_ident (Path.Pident id, _, _) ->
+              Option.value (lookup_var b.ctx id) ~default:no_var
+          | _ -> no_var
+        in
+        emit_call b ~cur:!cur ~exn
+          {
+            c_name = name;
+            c_fn;
+            c_args = argv;
+            c_ret = fresh_var b;
+            c_loc = loc;
+          }
+      end
+
+and emit_call b ~cur ~exn c =
+  (node b cur).n_term <- Tcall c;
+  link_exn b cur exn;
+  let nn = new_node b in
+  link b cur nn;
+  (nn, c.c_ret)
+
+(* Fun.protect ~finally:f body: the body runs with its exceptional edges
+   routed through a copy of the finally, and the finally runs again on the
+   normal path.  Release calls inside the finally are therefore seen on
+   every path out of the body. *)
+and low_protect b ~cur ~exn ~loc args =
+  let open Typedtree in
+  let finally =
+    List.find_map
+      (fun (l, a) ->
+        match (l, a) with
+        | Asttypes.Labelled "finally", Some a -> Some a
+        | _ -> None)
+      args
+  in
+  let body =
+    List.find_map
+      (fun (l, a) ->
+        match (l, a) with Asttypes.Nolabel, Some a -> Some a | _ -> None)
+      args
+  in
+  let emit_finally ~cur ~exn =
+    match finally with
+    | Some { exp_desc = Texp_function { cases = [ c ]; _ }; _ } ->
+        fst (low b ~cur ~exn c.c_rhs)
+    | Some { exp_desc = Texp_ident (Path.Pident id, _, _); _ } ->
+        fst
+          (emit_call b ~cur ~exn
+             {
+               c_name = "";
+               c_fn = Option.value (lookup_var b.ctx id) ~default:no_var;
+               c_args = [];
+               c_ret = fresh_var b;
+               c_loc = loc;
+             })
+    | Some fe ->
+        let cur, fv = low b ~cur ~exn fe in
+        fst
+          (emit_call b ~cur ~exn
+             {
+               c_name = "";
+               c_fn = fv;
+               c_args = [];
+               c_ret = fresh_var b;
+               c_loc = loc;
+             })
+    | None -> cur
+  in
+  (* exceptional path: finally then re-raise *)
+  let fx = new_node b in
+  let fx_end = emit_finally ~cur:fx ~exn in
+  (node b fx_end).n_term <- Traise;
+  link_exn b fx_end exn;
+  (* body with exn routed through the finally copy *)
+  let bend, bv =
+    match body with
+    | Some { exp_desc = Texp_function { cases = [ c ]; _ }; _ } ->
+        low b ~cur ~exn:fx c.c_rhs
+    | Some be ->
+        (* opaque thunk: call it under the finally routing *)
+        let cur, fv = low b ~cur ~exn:fx be in
+        emit_call b ~cur ~exn:fx
+          {
+            c_name = "";
+            c_fn = fv;
+            c_args = [];
+            c_ret = fresh_var b;
+            c_loc = loc;
+          }
+    | None -> (cur, no_var)
+  in
+  (* normal path: finally, value flows through *)
+  let nend = emit_finally ~cur:bend ~exn in
+  (nend, bv)
+
+(* match with value and exception cases; [Partial] adds a Match_failure
+   edge from the dispatch point. *)
+and low_match b ~cur ~exn ~loc scrut cases partial =
+  let open Typedtree in
+  let split = List.map (fun c -> (c, Typedtree.split_pattern c.c_lhs)) cases in
+  let val_cases =
+    List.filter_map (fun (c, (vp, _)) -> Option.map (fun p -> (c, p)) vp) split
+  in
+  let exc_cases =
+    List.filter_map (fun (c, (_, ep)) -> Option.map (fun p -> (c, p)) ep) split
+  in
+  let hnode = if exc_cases <> [] then Some (new_node b) else None in
+  let scrut_exn = match hnode with Some h -> h | None -> exn in
+  let send, sv = low b ~cur ~exn:scrut_exn scrut in
+  let d = new_node b in
+  link b send d;
+  let m = new_node b in
+  let phi = fresh_var b in
+  let lower_case ~from ~src (c, (pat : pattern)) =
+    let bn = new_node b in
+    link b from bn;
+    bind_pattern b bn pat ~src;
+    let bn' =
+      match c.c_guard with
+      | None -> bn
+      | Some g -> fst (low b ~cur:bn ~exn g)
+    in
+    let bend, bv = low b ~cur:bn' ~exn c.c_rhs in
+    if bv <> no_var then add_ev b bend (Bind { dst = phi; src = bv; loc });
+    link b bend m
+  in
+  List.iter (lower_case ~from:d ~src:sv) val_cases;
+  (match partial with
+  | Partial ->
+      let pn = new_node b in
+      link b d pn;
+      (node b pn).n_term <- Traise;
+      link_exn b pn exn
+  | Total -> ());
+  (match hnode with
+  | Some h ->
+      List.iter (lower_case ~from:h ~src:no_var) exc_cases;
+      (* unmatched exceptions re-raise — unless a guard-free catch-all
+         case already swallows everything *)
+      let catch_all =
+        List.exists
+          (fun (c, p) -> c.c_guard = None && irrefutable p)
+          exc_cases
+      in
+      if not catch_all then begin
+        let rr = new_node b in
+        link b h rr;
+        (node b rr).n_term <- Traise;
+        link_exn b rr exn
+      end
+  | None -> ());
+  (m, phi)
+
+and low_try b ~cur ~exn ~loc body cases =
+  let open Typedtree in
+  let hnode = new_node b in
+  let bend, bv = low b ~cur ~exn:hnode body in
+  let m = new_node b in
+  let phi = fresh_var b in
+  if bv <> no_var then add_ev b bend (Bind { dst = phi; src = bv; loc });
+  link b bend m;
+  List.iter
+    (fun c ->
+      let bn = new_node b in
+      link b hnode bn;
+      bind_pattern b bn c.c_lhs ~src:no_var;
+      let bn' =
+        match c.c_guard with
+        | None -> bn
+        | Some g -> fst (low b ~cur:bn ~exn g)
+      in
+      let cend, cv = low b ~cur:bn' ~exn c.c_rhs in
+      if cv <> no_var then add_ev b cend (Bind { dst = phi; src = cv; loc });
+      link b cend m)
+    cases;
+  let catch_all =
+    List.exists (fun c -> c.c_guard = None && irrefutable c.c_lhs) cases
+  in
+  if not catch_all then begin
+    let rr = new_node b in
+    link b hnode rr;
+    (node b rr).n_term <- Traise;
+    link_exn b rr exn
+  end;
+  (m, phi)
+
+(* Multi-case function stage: dispatch the parameter through the cases. *)
+and low_cases_on b ~cur ~exn ~loc ~src (cases : Typedtree.value Typedtree.case list)
+    partial =
+  let open Typedtree in
+  let d = new_node b in
+  link b cur d;
+  let m = new_node b in
+  let phi = fresh_var b in
+  List.iter
+    (fun c ->
+      let bn = new_node b in
+      link b d bn;
+      bind_pattern b bn c.c_lhs ~src;
+      let bn' =
+        match c.c_guard with
+        | None -> bn
+        | Some g -> fst (low b ~cur:bn ~exn g)
+      in
+      let bend, bv = low b ~cur:bn' ~exn c.c_rhs in
+      if bv <> no_var then add_ev b bend (Bind { dst = phi; src = bv; loc });
+      link b bend m)
+    cases;
+  (match partial with
+  | Partial ->
+      let pn = new_node b in
+      link b d pn;
+      (node b pn).n_term <- Traise;
+      link_exn b pn exn
+  | Total -> ());
+  (m, phi)
+
+(* ------------------------------------------------------------------ *)
+(* Function lowering                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Peel the curried Texp_function chain, binding parameters; a multi-case
+   final stage is lowered as a dispatch on its parameter. *)
+and lower_function ctx ~fn_id (e : Typedtree.expression) : fn =
+  let open Typedtree in
+  let b = new_builder ctx fn_id in
+  let entry = new_node b in
+  let exit = new_node b in
+  let exn_exit = new_node b in
+  let rec consume cur e params =
+    match e.exp_desc with
+    | Texp_function { param; cases = [ { c_lhs; c_guard = None; c_rhs } ]; _ }
+      when is_function c_rhs ->
+        let p = bind_var b param (Ident.name param) in
+        bind_pattern b cur c_lhs ~src:p;
+        consume cur c_rhs (p :: params)
+    | Texp_function { param; cases = [ { c_lhs; c_guard = None; c_rhs } ]; _ }
+      ->
+        let p = bind_var b param (Ident.name param) in
+        bind_pattern b cur c_lhs ~src:p;
+        let bend, bv = low b ~cur ~exn:exn_exit c_rhs in
+        (List.rev (p :: params), bend, bv)
+    | Texp_function { param; cases; partial; _ } ->
+        let p = bind_var b param (Ident.name param) in
+        let bend, bv =
+          low_cases_on b ~cur ~exn:exn_exit ~loc:e.exp_loc ~src:p cases partial
+        in
+        (List.rev (p :: params), bend, bv)
+    | _ ->
+        let bend, bv = low b ~cur ~exn:exn_exit e in
+        (List.rev params, bend, bv)
+  in
+  let params, bend, bv = consume entry e [] in
+  if bv <> no_var then add_ev b bend (Return { v = bv; loc = e.exp_loc });
+  link b bend exit;
+  {
+    fn_id;
+    fn_module = ctx.modname;
+    fn_params = params;
+    fn_loc = e.exp_loc;
+    fn_nodes = Vec.to_array b.nodes;
+    fn_entry = entry;
+    fn_exit = exit;
+    fn_exn_exit = exn_exit;
+    fn_vars = b.vars;
+    fn_locals = b.locals;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Module driver                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let lower_module ~hooks ~modname (str : Typedtree.structure) : mod_cfg =
+  let ctx =
+    { hooks; modname; vars_tbl = Hashtbl.create 64; next = 1; subs = [] }
+  in
+  let toplevel = ref [] in
+  let fns = ref [] in
+  let rec walk prefix (str : Typedtree.structure) =
+    let open Typedtree in
+    (* pre-register every toplevel value name: recursion and forward calls
+       resolve, and lambdas referencing them are not "captures" *)
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, { txt; _ }) | Tpat_alias (_, id, { txt; _ }) ->
+                    let v = intern_var ctx id in
+                    if is_function vb.vb_expr then
+                      toplevel := (v, prefix ^ txt) :: !toplevel
+                | _ -> ())
+              vbs
+        | _ -> ())
+      str.str_items;
+    List.iter
+      (fun item ->
+        match item.str_desc with
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match (vb.vb_pat.pat_desc, is_function vb.vb_expr) with
+                | ( (Tpat_var (_, { txt; _ }) | Tpat_alias (_, _, { txt; _ })),
+                    true ) ->
+                    let fn =
+                      lower_function ctx ~fn_id:(prefix ^ txt) vb.vb_expr
+                    in
+                    fns := fn :: !fns
+                | _ -> ())
+              vbs
+        | Tstr_module mb -> (
+            let rec mexpr me =
+              match me.mod_desc with
+              | Tmod_structure s -> Some s
+              | Tmod_constraint (me', _, _, _) -> mexpr me'
+              | _ -> None
+            in
+            match (mb.mb_id, mexpr mb.mb_expr) with
+            | Some id, Some s -> walk (prefix ^ Ident.name id ^ ".") s
+            | _ -> ())
+        | _ -> ())
+      str.str_items
+  in
+  walk (modname ^ ".") str;
+  {
+    mc_module = modname;
+    mc_fns = List.rev_append ctx.subs (List.rev !fns);
+    mc_toplevel = !toplevel;
+  }

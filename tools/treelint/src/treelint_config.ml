@@ -170,6 +170,16 @@ let parse_file path =
 
 (* --- typed view --- *)
 
+(* One R7 resource class: "class: acq1, acq2 => rel1, rel2 [@ Mod1, Mod2]".
+   Acquire/release are normalized member names (exact or "Module."/"_"
+   prefix); the optional module list narrows where the class is enforced. *)
+type r7_resource = {
+  rc_class : string;
+  rc_acquire : string list;
+  rc_release : string list;
+  rc_modules : string list;  (* [] = every module in the r7 layers *)
+}
+
 type t = {
   (* wrapper module name -> library key, e.g. "Tb_sim" -> "sim" *)
   libraries : (string * string) list;
@@ -199,6 +209,29 @@ type t = {
      modules allowed to touch them *)
   r6_exceptions : string list;
   r6_allowed : string list;
+  (* R7 pin/release pairing: dataflow over the library keys in r7_layers *)
+  r7_layers : string list;
+  r7_resources : r7_resource list;
+  (* members assumed never to raise (charge helpers, pure leaf math): calls
+     to anything else keep their exception edge live *)
+  r7_total : string list;
+  (* R8 RNG-stream taint *)
+  r8_layers : string list;
+  (* stream name -> modules allowed to draw from it; the first entry is the
+     owner (the module whose Rng.create / rng field defines the stream) *)
+  r8_streams : (string * string list) list;
+  (* members a tainted value must not reach as an argument *)
+  r8_sinks : string list;
+  (* draw families, default ["Rng."] *)
+  r8_draws : string list;
+  (* seeded summaries: "Module.fn" returns a value tainted by stream *)
+  r8_tainted : (string * string) list;
+  (* R9 charge/effect ordering: inside r9_modules, the charge member of a
+     pair must dominate every call to its effect member *)
+  r9_modules : string list;
+  r9_pairs : (string * string) list;  (* charge member, effect member *)
+  (* rule id -> "error" | "warning" | "note" (default error) *)
+  severity : (string * string) list;
   (* "RULE Module [offender]" -> reason (must be non-empty) *)
   allow : (string * string) list;
 }
@@ -217,6 +250,52 @@ let string_list entries section key default =
   match List.assoc_opt key (section_assoc entries section) with
   | Some v -> strings v
   | None -> default
+
+(* Split [s] once on the first occurrence of [sep]; None when absent. *)
+let split_once sep s =
+  let n = String.length s and m = String.length sep in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sep then
+      Some (String.sub s 0 i, String.sub s (i + m) (n - i - m))
+    else go (i + 1)
+  in
+  go 0
+
+let comma_names s =
+  String.split_on_char ',' s |> List.map strip |> List.filter (( <> ) "")
+
+let parse_resource spec =
+  match split_once ":" spec with
+  | None -> fail "r7 resource %S: expected \"class: acq => rel [@ mods]\"" spec
+  | Some (cls, rest) -> (
+      match split_once "=>" rest with
+      | None -> fail "r7 resource %S: missing \"=>\" release list" spec
+      | Some (acq, rel_mods) ->
+          let rel, mods =
+            match split_once "@" rel_mods with
+            | None -> (rel_mods, "")
+            | Some (r, m) -> (r, m)
+          in
+          let cls = strip cls in
+          if cls = "" then fail "r7 resource %S: empty class name" spec;
+          {
+            rc_class = cls;
+            rc_acquire = comma_names acq;
+            rc_release = comma_names rel;
+            rc_modules = comma_names mods;
+          })
+
+let parse_pair what spec =
+  match split_once "=>" spec with
+  | Some (a, b) when strip a <> "" && strip b <> "" -> (strip a, strip b)
+  | _ -> fail "%s %S: expected \"lhs => rhs\"" what spec
+
+let parse_tainted spec =
+  match split_once "=" spec with
+  | Some (name, stream) when strip name <> "" && strip stream <> "" ->
+      (strip name, strip stream)
+  | _ -> fail "r8 tainted_returns %S: expected \"Module.fn = stream\"" spec
 
 let of_entries entries =
   let libraries =
@@ -271,6 +350,31 @@ let of_entries entries =
     r5_allowed = string_list entries "rules.r5" "allowed" [];
     r6_exceptions = string_list entries "rules.r6" "exceptions" [];
     r6_allowed = string_list entries "rules.r6" "allowed" [];
+    r7_layers = string_list entries "rules.r7" "layers" [];
+    r7_resources =
+      List.map parse_resource (string_list entries "rules.r7" "resources" []);
+    r7_total = string_list entries "rules.r7" "total" [];
+    r8_layers = string_list entries "rules.r8" "layers" [];
+    r8_streams =
+      List.map
+        (fun (k, v) -> (k, strings v))
+        (section_assoc entries "rules.r8.streams");
+    r8_sinks = string_list entries "rules.r8" "sinks" [];
+    r8_draws = string_list entries "rules.r8" "draws" [ "Rng." ];
+    r8_tainted =
+      List.map parse_tainted
+        (string_list entries "rules.r8" "tainted_returns" []);
+    r9_modules = string_list entries "rules.r9" "modules" [];
+    r9_pairs =
+      List.map (parse_pair "r9 pair")
+        (string_list entries "rules.r9" "pairs" []);
+    severity =
+      List.map
+        (fun (k, v) ->
+          match v with
+          | S s when List.mem s [ "error"; "warning"; "note" ] -> (k, s)
+          | _ -> fail "[severity] values must be error/warning/note")
+        (section_assoc entries "severity");
     allow;
   }
 

@@ -1,0 +1,844 @@
+(* Interprocedural dataflow rules over the CFGs: R7 pin/release pairing,
+   R8 RNG-stream taint, R9 charge/effect ordering.
+
+   Per-function summaries propagate facts across calls:
+   - [s_may_raise]    the exceptional exit is reachable (starts false and
+                      grows; config [total] members never raise)
+   - [s_returns]      resource classes carried by the result — a helper
+                      that acquires and escapes a handle upward becomes an
+                      acquire site for its callers
+   - [s_releases]     classes discharged when the fn is called with an
+                      aliased argument (may-release: a conditional release
+                      in a helper counts, which is forgiving, not strict)
+   - [s_acquires]     token classes (acquire with an unused unit-ish
+                      result, e.g. Sim.claim_bytes) still live at the
+                      normal exit: the obligation transfers to the caller
+   - [s_taint]/[s_rng] R8: the result is a drawn value / an RNG of a stream
+   - [s_charges]      R9: charges guaranteed on every normal return
+   - [s_ctx]          R9: intersection of caller states at every resolved
+                      call site, used as the entry state of local helpers
+
+   All lattices are finite and grow monotonically; the fixpoint driver is
+   round-capped as a backstop. *)
+
+module Cfg = Treelint_cfg
+module Cg = Treelint_callgraph
+module Config = Treelint_config
+module Diag = Treelint_diag
+module IS = Set.Make (Int)
+module SS = Set.Make (String)
+
+type summary = {
+  mutable s_may_raise : bool;
+  mutable s_returns : SS.t;
+  mutable s_releases : SS.t;
+  mutable s_acquires : SS.t;
+  mutable s_taint : (string * Location.t) option;
+  mutable s_rng : string option;
+  mutable s_charges : SS.t;
+  mutable s_ctx : SS.t option;
+}
+
+let fresh_summary () =
+  {
+    s_may_raise = false;
+    s_returns = SS.empty;
+    s_releases = SS.empty;
+    s_acquires = SS.empty;
+    s_taint = None;
+    s_rng = None;
+    s_charges = SS.empty;
+    s_ctx = None;
+  }
+
+type env = {
+  config : Config.t;
+  cg : Cg.t;
+  summaries : (string, summary) Hashtbl.t;
+  mod_lib : string -> string option;  (* module name -> library key *)
+  mutable diags : Diag.t list;  (* only filled during the collect pass *)
+  mutable collecting : bool;
+  seen : (string, unit) Hashtbl.t;  (* diag dedup across collect passes *)
+}
+
+let summary env fn_id =
+  match Hashtbl.find_opt env.summaries fn_id with
+  | Some s -> s
+  | None ->
+      let s = fresh_summary () in
+      Hashtbl.replace env.summaries fn_id s;
+      s
+
+let severity_of env rule =
+  match List.assoc_opt rule env.config.Config.severity with
+  | Some s -> Option.value (Diag.severity_of_string s) ~default:Diag.Error
+  | None -> Diag.Error
+
+let step_of loc note =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_fname, p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol,
+   note)
+
+let emit env ~rule ~loc ~modname ~offender ~message ~trace =
+  if env.collecting then begin
+    let p = loc.Location.loc_start in
+    let key =
+      Printf.sprintf "%s|%s|%d|%d|%s" rule p.Lexing.pos_fname
+        p.Lexing.pos_lnum p.Lexing.pos_cnum offender
+    in
+    if not (Hashtbl.mem env.seen key) then begin
+      Hashtbl.replace env.seen key ();
+      env.diags <-
+        Diag.make ~severity:(severity_of env rule) ~trace ~rule ~loc ~modname
+          ~offender ~message ()
+        :: env.diags
+    end
+  end
+
+let in_layers env layers modname =
+  match env.mod_lib modname with
+  | Some lib -> List.mem lib layers
+  | None -> false
+
+let resolve_summary env fn c =
+  match Cg.resolve env.cg fn c with
+  | Some id -> Some (summary env id)
+  | None -> None
+
+(* Does this call keep its exception edge?  Config [total] members never
+   raise; resolved callees defer to their computed summary; everything
+   else is assumed to raise. *)
+let may_raise env fn (c : Cfg.call) =
+  if c.Cfg.c_name <> "" && Config.matches_member env.config.Config.r7_total
+       c.Cfg.c_name
+  then false
+  else
+    match resolve_summary env fn c with
+    | Some s -> s.s_may_raise
+    | None -> true
+
+(* ------------------------------------------------------------------ *)
+(* R7: pin/release pairing                                            *)
+(* ------------------------------------------------------------------ *)
+
+type oblig = {
+  o_id : int;
+  o_class : string;
+  o_token : bool;  (* keyed by class, not by the returned value *)
+  o_loc : Location.t;
+  o_node : int;
+}
+
+(* Variables whose value is observed somewhere: an acquire whose result is
+   never observed is a token obligation (claim-style), released by class. *)
+let used_vars (fn : Cfg.fn) =
+  let u = ref IS.empty in
+  Array.iter
+    (fun n ->
+      List.iter
+        (function
+          | Cfg.Bind { src; _ } -> u := IS.add src !u
+          | Cfg.Escape { v; _ } -> u := IS.add v !u
+          | Cfg.Return { v; _ } -> u := IS.add v !u
+          | Cfg.Field_get _ -> ())
+        n.Cfg.n_ev;
+      match n.Cfg.n_term with
+      | Cfg.Tcall c ->
+          List.iter (fun v -> u := IS.add v !u) c.Cfg.c_args;
+          if c.Cfg.c_fn >= 0 then u := IS.add c.Cfg.c_fn !u
+      | _ -> ())
+    fn.Cfg.fn_nodes;
+  !u
+
+let class_allowed_in rc modname =
+  rc.Config.rc_modules = [] || List.mem modname rc.Config.rc_modules
+
+(* Classes acquired by a call: config acquire members, plus resolved-callee
+   summaries (escaping helpers and token transfers). *)
+let acquire_classes env fn (c : Cfg.call) =
+  let modname = fn.Cfg.fn_module in
+  let by_name =
+    List.filter_map
+      (fun rc ->
+        if
+          Config.matches_member rc.Config.rc_acquire c.Cfg.c_name
+          && class_allowed_in rc modname
+        then Some (rc.Config.rc_class, false)
+        else None)
+      env.config.Config.r7_resources
+  in
+  let by_summary =
+    match resolve_summary env fn c with
+    | None -> []
+    | Some s ->
+        SS.fold (fun cls acc -> (cls, false) :: acc) s.s_returns []
+        @ SS.fold (fun cls acc -> (cls, true) :: acc) s.s_acquires []
+  in
+  let scoped =
+    List.filter
+      (fun (cls, _) ->
+        match
+          List.find_opt
+            (fun rc -> rc.Config.rc_class = cls)
+            env.config.Config.r7_resources
+        with
+        | Some rc -> class_allowed_in rc modname
+        | None -> false)
+      by_summary
+  in
+  by_name @ scoped
+
+(* Classes a call releases: config release members plus callee summary. *)
+let release_classes env fn (c : Cfg.call) =
+  let by_name =
+    List.filter_map
+      (fun rc ->
+        if Config.matches_member rc.Config.rc_release c.Cfg.c_name then
+          Some rc.Config.rc_class
+        else None)
+      env.config.Config.r7_resources
+  in
+  let by_summary =
+    match resolve_summary env fn c with
+    | None -> []
+    | Some s -> SS.elements s.s_releases
+  in
+  List.sort_uniq String.compare (by_name @ by_summary)
+
+(* State: live obligations with their alias sets, keyed by obligation id. *)
+type r7_state = (int * IS.t) list
+
+let st_join (a : r7_state) (b : r7_state) : r7_state =
+  let rec go a b =
+    match (a, b) with
+    | [], r | r, [] -> r
+    | (ia, sa) :: ta, (ib, sb) :: tb ->
+        if ia = ib then (ia, IS.union sa sb) :: go ta tb
+        else if ia < ib then (ia, sa) :: go ta ((ib, sb) :: tb)
+        else (ib, sb) :: go ((ia, sa) :: ta) tb
+  in
+  go a b
+
+let st_equal a b =
+  List.length a = List.length b
+  && List.for_all2 (fun (i, s) (j, t) -> i = j && IS.equal s t) a b
+
+let find_var_name (fn : Cfg.fn) aliases =
+  let named =
+    List.filter (fun (v, _) -> IS.mem v aliases) fn.Cfg.fn_vars
+  in
+  match List.sort (fun (a, _) (b, _) -> Int.compare a b) named with
+  | (_, n) :: _ -> Some n
+  | [] -> None
+
+(* One round of R7 over [fn].  Updates the summary; emits diagnostics when
+   [env.collecting].  Returns true when the summary changed. *)
+let analyze_r7 env (fn : Cfg.fn) =
+  let s = summary env fn.Cfg.fn_id in
+  let in_scope = in_layers env env.config.Config.r7_layers fn.Cfg.fn_module in
+  let nn = Array.length fn.Cfg.fn_nodes in
+  let used = if in_scope then used_vars fn else IS.empty in
+  let param_closure =
+    (* vars reachable from parameters through binds, flow-insensitive *)
+    let cl = ref (IS.of_list fn.Cfg.fn_params) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun n ->
+          List.iter
+            (function
+              | Cfg.Bind { dst; src; _ }
+                when IS.mem src !cl && not (IS.mem dst !cl) ->
+                  cl := IS.add dst !cl;
+                  changed := true
+              | _ -> ())
+            n.Cfg.n_ev)
+        fn.Cfg.fn_nodes
+    done;
+    !cl
+  in
+  (* obligation table: one per (acquiring node, class) *)
+  let obligs = ref [] in
+  if in_scope then
+    Array.iteri
+      (fun i n ->
+        match n.Cfg.n_term with
+        | Cfg.Tcall c ->
+            List.iter
+              (fun (cls, forced_token) ->
+                let o_token = forced_token || not (IS.mem c.Cfg.c_ret used) in
+                obligs :=
+                  {
+                    o_id = List.length !obligs;
+                    o_class = cls;
+                    o_token;
+                    o_loc = c.Cfg.c_loc;
+                    o_node = i;
+                  }
+                  :: !obligs)
+              (acquire_classes env fn c)
+        | _ -> ())
+      fn.Cfg.fn_nodes;
+  let obligs = Array.of_list (List.rev !obligs) in
+  let ost = Array.make nn None in  (* IN states *)
+  let reached = Array.make nn false in
+  let returns = ref SS.empty in
+  let releases = ref SS.empty in
+  let propagate j st =
+    let st' =
+      match ost.(j) with None -> st | Some prev -> st_join prev st
+    in
+    let same = (match ost.(j) with Some p -> st_equal p st' | None -> false) in
+    if not same || not reached.(j) then begin
+      ost.(j) <- Some st';
+      reached.(j) <- true;
+      true
+    end
+    else false
+  in
+  let work = Queue.create () in
+  ignore (propagate fn.Cfg.fn_entry []);
+  Queue.push fn.Cfg.fn_entry work;
+  let guard = ref 0 in
+  while not (Queue.is_empty work) && !guard < 200_000 do
+    incr guard;
+    let i = Queue.pop work in
+    let n = fn.Cfg.fn_nodes.(i) in
+    let st = ref (Option.value ost.(i) ~default:[]) in
+    (* events, oldest first *)
+    List.iter
+      (fun ev ->
+        match ev with
+        | Cfg.Bind { dst; src; _ } ->
+            st :=
+              List.map
+                (fun (o, al) ->
+                  if IS.mem src al then (o, IS.add dst al) else (o, al))
+                !st
+        | Cfg.Escape { v; _ } ->
+            st := List.filter (fun (_, al) -> not (IS.mem v al)) !st
+        | Cfg.Return { v; _ } ->
+            let ret_obs, live =
+              List.partition (fun (_, al) -> IS.mem v al) !st
+            in
+            List.iter
+              (fun (o, _) -> returns := SS.add obligs.(o).o_class !returns)
+              ret_obs;
+            st := live
+        | Cfg.Field_get _ -> ())
+      (List.rev n.Cfg.n_ev);
+    let push k st' = if propagate k st' then Queue.push k work in
+    (match n.Cfg.n_term with
+    | Cfg.Fallthrough -> List.iter (fun j -> push j !st) n.Cfg.n_succ
+    | Cfg.Traise -> List.iter (fun j -> push j !st) n.Cfg.n_exn
+    | Cfg.Tcall c ->
+        (* releases discharge at the call, on both outcomes *)
+        let rel = release_classes env fn c in
+        List.iter
+          (fun cls ->
+            let of_class =
+              List.filter (fun (o, _) -> obligs.(o).o_class = cls) !st
+            in
+            let hits =
+              List.filter
+                (fun (_, al) ->
+                  List.exists (fun a -> IS.mem a al) c.Cfg.c_args)
+                of_class
+            in
+            let victims = if hits <> [] then hits else of_class in
+            (* a release reached through a parameter is part of this fn's
+               contract: callers with an aliased arg discharge too *)
+            if
+              List.exists
+                (fun (_, al) ->
+                  IS.exists (fun a -> IS.mem a param_closure) al)
+                victims
+              || List.exists (fun a -> IS.mem a param_closure) c.Cfg.c_args
+            then releases := SS.add cls !releases;
+            st :=
+              List.filter
+                (fun (o, _) -> not (List.memq o (List.map fst victims)))
+                !st)
+          rel;
+        (* parameter releases with no live obligation still count *)
+        if rel <> [] && List.exists (fun a -> IS.mem a param_closure) c.Cfg.c_args
+        then List.iter (fun cls -> releases := SS.add cls !releases) rel;
+        let st_exn = !st in
+        let acq = if in_scope then acquire_classes env fn c else [] in
+        let st_norm =
+          List.fold_left
+            (fun acc (cls, forced_token) ->
+              match
+                List.find_opt
+                  (fun o -> o.o_node = i && o.o_class = cls)
+                  (Array.to_list obligs)
+              with
+              | Some o ->
+                  ignore forced_token;
+                  st_join acc [ (o.o_id, IS.singleton c.Cfg.c_ret) ]
+              | None -> acc)
+            !st acq
+        in
+        List.iter (fun j -> push j st_norm) n.Cfg.n_succ;
+        if may_raise env fn c then
+          List.iter (fun j -> push j st_exn) n.Cfg.n_exn)
+  done;
+  (* summary updates *)
+  let changed = ref false in
+  let set_bool cur v setter = if v && not cur then (setter (); changed := true) in
+  set_bool s.s_may_raise reached.(fn.Cfg.fn_exn_exit) (fun () ->
+      s.s_may_raise <- true);
+  if not (SS.subset !returns s.s_returns) then begin
+    s.s_returns <- SS.union s.s_returns !returns;
+    changed := true
+  end;
+  if not (SS.subset !releases s.s_releases) then begin
+    s.s_releases <- SS.union s.s_releases !releases;
+    changed := true
+  end;
+  let exit_state = Option.value ost.(fn.Cfg.fn_exit) ~default:[] in
+  let tokens_at_exit =
+    List.filter_map
+      (fun (o, _) -> if obligs.(o).o_token then Some obligs.(o).o_class else None)
+      exit_state
+    |> SS.of_list
+  in
+  if not (SS.subset tokens_at_exit s.s_acquires) then begin
+    s.s_acquires <- SS.union s.s_acquires tokens_at_exit;
+    changed := true
+  end;
+  (* diagnostics *)
+  if env.collecting && in_scope then begin
+    let leak o ~exn_path ~aliases =
+      let name =
+        if o.o_token then o.o_class
+        else
+          match find_var_name fn aliases with
+          | Some n -> Printf.sprintf "%s:%s" o.o_class n
+          | None -> o.o_class
+      in
+      let path_kind = if exn_path then "an exceptional" else "a normal" in
+      let trace = ref [ step_of o.o_loc (Printf.sprintf "%s acquired here" name) ] in
+      if exn_path then begin
+        (* first raising point past the acquire with the obligation live *)
+        let found = ref false in
+        Array.iteri
+          (fun i n ->
+            if (not !found) && i <> o.o_node && reached.(i) then
+              match ost.(i) with
+              | Some st when List.mem_assoc o.o_id st -> (
+                  match n.Cfg.n_term with
+                  | Cfg.Tcall c when may_raise env fn c && n.Cfg.n_exn <> [] ->
+                      found := true;
+                      let what =
+                        if c.Cfg.c_name = "" then "a local call"
+                        else "`" ^ c.Cfg.c_name ^ "`"
+                      in
+                      trace :=
+                        step_of c.Cfg.c_loc
+                          (Printf.sprintf
+                             "%s may raise here with no release on the \
+                              unwind path"
+                             what)
+                        :: !trace
+                  | Cfg.Traise ->
+                      found := true;
+                      trace :=
+                        step_of fn.Cfg.fn_loc "raise here skips the release"
+                        :: !trace
+                  | _ -> ())
+              | _ -> ())
+          fn.Cfg.fn_nodes
+      end;
+      trace :=
+        step_of fn.Cfg.fn_loc
+          (Printf.sprintf "%s exits on %s path with %s still held"
+             fn.Cfg.fn_id path_kind name)
+        :: !trace;
+      emit env ~rule:"R7" ~loc:o.o_loc ~modname:fn.Cfg.fn_module
+        ~offender:name
+        ~message:
+          (Printf.sprintf
+             "%s is acquired in %s but not released on %s path" name
+             fn.Cfg.fn_id path_kind)
+        ~trace:(List.rev !trace)
+    in
+    (match ost.(fn.Cfg.fn_exn_exit) with
+    | Some st ->
+        List.iter (fun (o, al) -> leak obligs.(o) ~exn_path:true ~aliases:al) st
+    | None -> ());
+    match ost.(fn.Cfg.fn_exit) with
+    | Some st ->
+        List.iter
+          (fun (o, al) ->
+            if not obligs.(o).o_token then
+              leak obligs.(o) ~exn_path:false ~aliases:al)
+          st
+    | None -> ()
+  end;
+  !changed
+
+(* ------------------------------------------------------------------ *)
+(* R8: RNG-stream taint                                               *)
+(* ------------------------------------------------------------------ *)
+
+let own_stream env modname =
+  List.find_map
+    (fun (stream, allowed) ->
+      match allowed with
+      | owner :: _ when owner = modname -> Some stream
+      | _ -> None)
+    env.config.Config.r8_streams
+
+let stream_allows env stream modname =
+  match List.assoc_opt stream env.config.Config.r8_streams with
+  | Some allowed -> List.mem modname allowed
+  | None -> false
+
+let is_create_or_copy name =
+  let suffix s suf =
+    let n = String.length s and m = String.length suf in
+    n >= m && String.sub s (n - m) m = suf
+  in
+  suffix name ".create" || suffix name ".copy"
+
+type taint = {
+  mutable t_rng : string option;  (* this value IS an RNG of stream *)
+  mutable t_val : (string * Location.t) option;  (* drawn from stream at *)
+}
+
+let analyze_r8 env (fn : Cfg.fn) =
+  if not (in_layers env env.config.Config.r8_layers fn.Cfg.fn_module) then false
+  else begin
+    let s = summary env fn.Cfg.fn_id in
+    let modname = fn.Cfg.fn_module in
+    let tbl : (int, taint) Hashtbl.t = Hashtbl.create 32 in
+    let taint v =
+      match Hashtbl.find_opt tbl v with
+      | Some t -> t
+      | None ->
+          let t = { t_rng = None; t_val = None } in
+          Hashtbl.replace tbl v t;
+          t
+    in
+    let changed_inner = ref true in
+    let ret_taint = ref None in
+    let ret_rng = ref None in
+    let join_val t v =
+      match (t.t_val, v) with
+      | None, Some _ ->
+          t.t_val <- v;
+          changed_inner := true
+      | _ -> ()
+    in
+    let join_rng t r =
+      match (t.t_rng, r) with
+      | None, Some _ ->
+          t.t_rng <- r;
+          changed_inner := true
+      | _ -> ()
+    in
+    let violations = ref [] in
+    let violate ~loc ~offender ~message ~trace =
+      violations := (loc, offender, message, trace) :: !violations
+    in
+    let rounds = ref 0 in
+    while !changed_inner && !rounds < 20 do
+      changed_inner := false;
+      incr rounds;
+      violations := [];
+      Array.iter
+        (fun n ->
+          List.iter
+            (fun ev ->
+              match ev with
+              | Cfg.Bind { dst; src; _ } ->
+                  if src >= 0 || Hashtbl.mem tbl src then begin
+                    let ts = taint src and td = taint dst in
+                    join_val td ts.t_val;
+                    join_rng td ts.t_rng
+                  end
+              | Cfg.Field_get { dst; owner; is_rng; _ } ->
+                  if is_rng then
+                    join_rng (taint dst) (own_stream env owner)
+              | Cfg.Escape _ | Cfg.Return _ -> ())
+            (List.rev n.Cfg.n_ev);
+          (match n.Cfg.n_term with
+          | Cfg.Tcall c ->
+              let name = c.Cfg.c_name in
+              let arg_taints = List.map (fun v -> taint v) c.Cfg.c_args in
+              let rt = taint c.Cfg.c_ret in
+              (* sinks: a foreign draw must not feed a charge/placement *)
+              if
+                name <> ""
+                && Config.matches_member env.config.Config.r8_sinks name
+              then
+                List.iter
+                  (fun t ->
+                    match t.t_val with
+                    | Some (stream, origin)
+                      when not (stream_allows env stream modname) ->
+                        violate ~loc:c.Cfg.c_loc
+                          ~offender:(stream ^ "->" ^ name)
+                          ~message:
+                            (Printf.sprintf
+                               "value drawn from RNG stream %S reaches %s \
+                                in %s, outside the stream's modules"
+                               stream name modname)
+                          ~trace:
+                            [
+                              step_of origin
+                                (Printf.sprintf "drawn from stream %S here"
+                                   stream);
+                              step_of c.Cfg.c_loc
+                                ("flows into " ^ name ^ " here");
+                            ]
+                    | _ -> ())
+                  arg_taints;
+              if
+                name <> ""
+                && Config.matches_member env.config.Config.r8_draws name
+              then begin
+                if is_create_or_copy name then begin
+                  match own_stream env modname with
+                  | Some stream -> join_rng rt (Some stream)
+                  | None ->
+                      violate ~loc:c.Cfg.c_loc ~offender:("?@" ^ name)
+                        ~message:
+                          (Printf.sprintf
+                             "%s creates an RNG in %s, which owns no \
+                              registered stream"
+                             name modname)
+                        ~trace:[ step_of c.Cfg.c_loc "created here" ]
+                end
+                else begin
+                  (* a draw: attribute the stream via the rng argument *)
+                  let stream =
+                    match
+                      List.find_map (fun t -> t.t_rng) arg_taints
+                    with
+                    | Some s -> Some s
+                    | None -> own_stream env modname
+                  in
+                  match stream with
+                  | None -> ()  (* unattributable: stay quiet *)
+                  | Some stream ->
+                      if not (stream_allows env stream modname) then
+                        violate ~loc:c.Cfg.c_loc
+                          ~offender:(stream ^ "@" ^ name)
+                          ~message:
+                            (Printf.sprintf
+                               "%s draws from RNG stream %S inside %s, \
+                                which is not among the stream's modules"
+                               name stream modname)
+                          ~trace:
+                            [ step_of c.Cfg.c_loc "foreign draw here" ];
+                      join_val rt (Some (stream, c.Cfg.c_loc));
+                      (* cross-stream state pollution via arguments *)
+                      List.iter
+                        (fun t ->
+                          match t.t_val with
+                          | Some (s', origin)
+                            when s' <> stream
+                                 && not (stream_allows env s' modname) ->
+                              violate ~loc:c.Cfg.c_loc
+                                ~offender:(s' ^ "->" ^ stream)
+                                ~message:
+                                  (Printf.sprintf
+                                     "stream %S state fed by a value drawn \
+                                      from stream %S in %s"
+                                     stream s' modname)
+                                ~trace:
+                                  [
+                                    step_of origin
+                                      (Printf.sprintf
+                                         "drawn from stream %S here" s');
+                                    step_of c.Cfg.c_loc
+                                      (Printf.sprintf
+                                         "feeds a %S draw here" stream);
+                                  ]
+                          | _ -> ())
+                        arg_taints
+                end
+              end
+              else begin
+                (* config-seeded and computed summaries *)
+                (match
+                   List.find_opt
+                     (fun (m, _) -> m = name)
+                     env.config.Config.r8_tainted
+                 with
+                | Some (_, stream) ->
+                    join_val rt (Some (stream, c.Cfg.c_loc))
+                | None -> ());
+                (match resolve_summary env fn c with
+                | Some cs ->
+                    join_val rt cs.s_taint;
+                    join_rng rt cs.s_rng
+                | None ->
+                    (* unknown call: taint flows through arguments *)
+                    join_val rt
+                      (List.find_map (fun t -> t.t_val) arg_taints))
+              end
+          | _ -> ());
+          (* returns feed the summary *)
+          List.iter
+            (function
+              | Cfg.Return { v; _ } ->
+                  let t = taint v in
+                  (match (t.t_val, !ret_taint) with
+                  | Some tv, None -> ret_taint := Some tv
+                  | _ -> ());
+                  (match (t.t_rng, !ret_rng) with
+                  | Some r, None -> ret_rng := Some r
+                  | _ -> ())
+              | _ -> ())
+            n.Cfg.n_ev)
+        fn.Cfg.fn_nodes
+    done;
+    let changed = ref false in
+    (match (s.s_taint, !ret_taint) with
+    | None, Some tv ->
+        s.s_taint <- Some tv;
+        changed := true
+    | _ -> ());
+    (match (s.s_rng, !ret_rng) with
+    | None, Some r ->
+        s.s_rng <- Some r;
+        changed := true
+    | _ -> ());
+    if env.collecting then
+      List.iter
+        (fun (loc, offender, message, trace) ->
+          emit env ~rule:"R8" ~loc ~modname:fn.Cfg.fn_module ~offender
+            ~message ~trace)
+        (List.rev !violations);
+    !changed
+  end
+
+(* ------------------------------------------------------------------ *)
+(* R9: charge/effect ordering                                         *)
+(* ------------------------------------------------------------------ *)
+
+let analyze_r9 env (fn : Cfg.fn) =
+  if not (List.mem fn.Cfg.fn_module env.config.Config.r9_modules) then false
+  else begin
+    let s = summary env fn.Cfg.fn_id in
+    let pairs = env.config.Config.r9_pairs in
+    let nn = Array.length fn.Cfg.fn_nodes in
+    let ins : SS.t option array = Array.make nn None in
+    let entry_state = Option.value s.s_ctx ~default:SS.empty in
+    let propagate j st =
+      match ins.(j) with
+      | None ->
+          ins.(j) <- Some st;
+          true
+      | Some prev ->
+          let st' = SS.inter prev st in
+          if SS.equal st' prev then false
+          else begin
+            ins.(j) <- Some st';
+            true
+          end
+    in
+    let work = Queue.create () in
+    ignore (propagate fn.Cfg.fn_entry entry_state);
+    Queue.push fn.Cfg.fn_entry work;
+    let guard = ref 0 in
+    while not (Queue.is_empty work) && !guard < 200_000 do
+      incr guard;
+      let i = Queue.pop work in
+      let n = fn.Cfg.fn_nodes.(i) in
+      let st = Option.value ins.(i) ~default:SS.empty in
+      let push j st' = if propagate j st' then Queue.push j work in
+      match n.Cfg.n_term with
+      | Cfg.Fallthrough -> List.iter (fun j -> push j st) n.Cfg.n_succ
+      | Cfg.Traise -> List.iter (fun j -> push j st) n.Cfg.n_exn
+      | Cfg.Tcall c ->
+          let name = c.Cfg.c_name in
+          (* effect check precedes this call's own contribution *)
+          if env.collecting then
+            List.iter
+              (fun (charge, effect) ->
+                if
+                  Config.matches_member [ effect ] name
+                  && not (SS.mem charge st)
+                then
+                  emit env ~rule:"R9" ~loc:c.Cfg.c_loc
+                    ~modname:fn.Cfg.fn_module ~offender:name
+                    ~message:
+                      (Printf.sprintf
+                         "%s reached in %s on a path where %s has not been \
+                          charged"
+                         name fn.Cfg.fn_id charge)
+                    ~trace:
+                      [
+                        step_of c.Cfg.c_loc
+                          (Printf.sprintf
+                             "effect %s here; no dominating %s on some \
+                              path from the function entry"
+                             name charge);
+                      ])
+              pairs;
+          let st' =
+            List.fold_left
+              (fun acc (charge, _) ->
+                if Config.matches_member [ charge ] name then SS.add charge acc
+                else acc)
+              st pairs
+          in
+          let st' =
+            match resolve_summary env fn c with
+            | Some cs -> SS.union st' cs.s_charges
+            | None -> st'
+          in
+          (* context summaries for local helpers *)
+          (match Cg.resolve env.cg fn c with
+          | Some callee_id ->
+              let cs = summary env callee_id in
+              let ctx' =
+                match cs.s_ctx with
+                | None -> Some st
+                | Some prev -> Some (SS.inter prev st)
+              in
+              if cs.s_ctx <> ctx' then cs.s_ctx <- ctx'
+          | None -> ());
+          List.iter (fun j -> push j st') n.Cfg.n_succ;
+          if may_raise env fn c then List.iter (fun j -> push j st) n.Cfg.n_exn
+    done;
+    let exit_charges = Option.value ins.(fn.Cfg.fn_exit) ~default:SS.empty in
+    if not (SS.subset exit_charges s.s_charges) then begin
+      s.s_charges <- SS.union s.s_charges exit_charges;
+      true
+    end
+    else false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run ~config ~(mods : Cfg.mod_cfg list) ~mod_lib : Diag.t list =
+  let cg = Cg.build mods in
+  let env =
+    {
+      config;
+      cg;
+      summaries = Hashtbl.create 256;
+      mod_lib;
+      diags = [];
+      collecting = false;
+      seen = Hashtbl.create 64;
+    }
+  in
+  let analyze fn =
+    let c7 = analyze_r7 env fn in
+    let c8 = analyze_r8 env fn in
+    let c9 = analyze_r9 env fn in
+    c7 || c8 || c9
+  in
+  Cg.fixpoint cg ~max_rounds:16 analyze;
+  env.collecting <- true;
+  List.iter (fun fn -> ignore (analyze fn)) cg.Cg.order;
+  List.rev env.diags

@@ -9,18 +9,25 @@ type status =
   | Allowlisted of string  (* the configured reason *)
   | Baselined
 
+type severity = Error | Warning | Note
+
 type t = {
-  rule : string;     (* "R1" .. "R5" *)
+  rule : string;     (* "R1" .. "R9" *)
   file : string;     (* workspace-relative source path *)
   line : int;
   col : int;
   modname : string;  (* unprefixed module name, e.g. "Exec" *)
   offender : string; (* normalized reference, e.g. "Disk.load_page" or "=@list" *)
   message : string;
+  severity : severity;
+  trace : (string * int * int * string) list;
+      (* dataflow steps (file, line, col, note), acquire-to-leak order;
+         empty for occurrence rules *)
   mutable status : status;
 }
 
-let make ~rule ~loc ~modname ~offender ~message =
+let make ?(severity = Error) ?(trace = []) ~rule ~loc ~modname ~offender
+    ~message () =
   let pos = loc.Location.loc_start in
   {
     rule;
@@ -30,6 +37,8 @@ let make ~rule ~loc ~modname ~offender ~message =
     modname;
     offender;
     message;
+    severity;
+    trace;
     status = Violation;
   }
 
@@ -48,10 +57,30 @@ let compare a b =
     if c <> 0 then c
     else
       let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
+      if c <> 0 then c
+      else
+        let c = String.compare a.rule b.rule in
+        if c <> 0 then c else String.compare a.offender b.offender
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Note -> "note"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "note" -> Some Note
+  | _ -> None
 
 let pp ppf d =
   Format.fprintf ppf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+let pp_trace ppf d =
+  List.iter
+    (fun (f, l, c, note) ->
+      Format.fprintf ppf "    %s:%d:%d: %s@." f l c note)
+    d.trace
 
 let status_string = function
   | Violation -> "violation"
@@ -75,17 +104,32 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+let trace_to_json trace =
+  let step (f, l, c, note) =
+    Printf.sprintf
+      "{\"file\": \"%s\", \"line\": %d, \"col\": %d, \"note\": \"%s\"}"
+      (json_escape f) l c (json_escape note)
+  in
+  "[" ^ String.concat ", " (List.map step trace) ^ "]"
+
 let to_json d =
   let reason =
-    match d.status with Allowlisted r -> Printf.sprintf ", \"reason\": \"%s\"" (json_escape r) | _ -> ""
+    match d.status with
+    | Allowlisted r -> Printf.sprintf ", \"reason\": \"%s\"" (json_escape r)
+    | _ -> ""
+  in
+  let trace =
+    match d.trace with
+    | [] -> ""
+    | t -> Printf.sprintf ", \"trace\": %s" (trace_to_json t)
   in
   Printf.sprintf
     "{\"rule\": \"%s\", \"file\": \"%s\", \"line\": %d, \"col\": %d, \
      \"module\": \"%s\", \"offender\": \"%s\", \"message\": \"%s\", \
-     \"status\": \"%s\"%s}"
+     \"severity\": \"%s\", \"status\": \"%s\"%s%s}"
     d.rule (json_escape d.file) d.line d.col (json_escape d.modname)
     (json_escape d.offender) (json_escape d.message)
-    (status_string d.status) reason
+    (severity_string d.severity) (status_string d.status) reason trace
 
 let report_to_json diags =
   let items = List.map (fun d -> "  " ^ to_json d) diags in

@@ -181,6 +181,7 @@ type module_facts = {
   m_toplevels : toplevel list;
   m_ext_constrs : (ref_info * Location.t) list;
       (* extension constructors (exceptions) built or matched, for R6 *)
+  m_cfg : Treelint_cfg.mod_cfg;  (* lowered CFGs for the dataflow rules *)
 }
 
 let iter_expr_idents f expr =
@@ -356,6 +357,35 @@ let collect_module ~(config : Config.t) ~modname ~lib ~source str =
             vbs
       | _ -> ())
     str.Typedtree.str_items;
+  (* Pass 4: lower every function to a CFG for the dataflow rules. *)
+  let hooks =
+    {
+      Treelint_cfg.h_norm =
+        (fun p -> (normalize_path ~config ~aliases (Path.name p)).r_name);
+      h_field =
+        (fun lbl ->
+          let head ty =
+            match Types.get_desc ty with
+            | Types.Tconstr (p, _, _) ->
+                Some (normalize_path ~config ~aliases (Path.name p)).r_name
+            | _ -> None
+          in
+          match head lbl.Types.lbl_res with
+          | None -> None
+          | Some owner_ty ->
+              let owner =
+                match String.split_on_char '.' owner_ty with
+                | m :: _ -> m
+                | [] -> owner_ty
+              in
+              let is_rng =
+                match head lbl.Types.lbl_arg with
+                | Some n -> String.equal n "Rng.t"
+                | None -> false
+              in
+              Some (owner, is_rng));
+    }
+  in
   {
     m_modname = modname;
     m_lib = lib;
@@ -364,6 +394,7 @@ let collect_module ~(config : Config.t) ~modname ~lib ~source str =
     m_counter_sets = List.rev !counter_sets;
     m_toplevels = List.rev !toplevels;
     m_ext_constrs = List.rev !ext_constrs;
+    m_cfg = Treelint_cfg.lower_module ~hooks ~modname str;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -391,6 +422,7 @@ let rule_r1 (config : Config.t) m =
                     traffic here would bypass the fetch charges the \
                     fingerprint counts"
                    occ.o_ref.r_name)
+              ()
             :: !diags;
       if Config.matches_member config.r1_charge_prefixes occ.o_ref.r_name then
         if not (module_allowed config.r1_charge_allowed) then
@@ -403,6 +435,7 @@ let rule_r1 (config : Config.t) m =
                     model — uncoordinated charges corrupt the golden \
                     fingerprint"
                    occ.o_ref.r_name)
+              ()
             :: !diags)
     m.m_occs;
   List.iter
@@ -416,6 +449,7 @@ let rule_r1 (config : Config.t) m =
                  "direct mutation of counter field %s outside the \
                   whitelisted modules"
                  cs.cs_field)
+            ()
           :: !diags)
     m.m_counter_sets;
   !diags
@@ -441,6 +475,7 @@ let rule_r2 (config : Config.t) m =
                         strictly downward"
                        m.m_modname m.m_lib my_rank occ.o_ref.r_name other_lib
                        other_rank)
+                  ()
                 :: !diags
           | _ -> ())
       | _ -> ());
@@ -467,6 +502,7 @@ let rule_r2 (config : Config.t) m =
                          target_mod
                          (String.concat ", " allowed)
                          m.m_modname)
+                    ()
                   :: !diags
           | _ -> ())
       | _ -> ())
@@ -481,7 +517,7 @@ let rule_r3 (config : Config.t) m =
     let add occ offender message =
       diags :=
         Diag.make ~rule:"R3" ~loc:occ.o_loc ~modname:m.m_modname ~offender
-          ~message
+          ~message ()
         :: !diags
     in
     List.iter
@@ -587,7 +623,8 @@ let rule_r4 (config : Config.t) m =
                       t.t_name
                       (Option.value t.t_mutable ~default:"?")
                       (String.concat "/" config.r4_roots)
-                      m.m_modname)))
+                      m.m_modname)
+                 ()))
         mutables
 
 (* R5 — unsafe operations. *)
@@ -607,7 +644,8 @@ let rule_r5 (config : Config.t) m =
                  (Printf.sprintf
                     "%s outside the codec/page layer — unchecked access \
                      can silently corrupt page images"
-                    occ.o_ref.r_name))
+                    occ.o_ref.r_name)
+               ())
         else None)
       m.m_occs
 
@@ -631,12 +669,15 @@ let rule_r6 (config : Config.t) m =
                      (only [%s] may) — handling a shard failure elsewhere \
                      bypasses the executor's failover accounting"
                     r.r_name
-                    (String.concat ", " config.r6_allowed)))
+                    (String.concat ", " config.r6_allowed))
+               ())
         else None)
       m.m_ext_constrs
 
 let all_rules = [ rule_r1; rule_r2; rule_r3; rule_r4; rule_r5; rule_r6 ]
-let rule_count = List.length all_rules
+
+(* R7/R8/R9 run in the interprocedural dataflow pass, not per-module *)
+let rule_count = List.length all_rules + 3
 
 (* ------------------------------------------------------------------ *)
 (* Cmt discovery and driving                                           *)
@@ -691,10 +732,34 @@ let load_module ~config path =
               else Some (collect_module ~config ~modname ~lib ~source str)
           | _ -> None))
 
-let run ~(config : Config.t) ~baseline ~extra_dirs ~dirs () =
+let result_of_diags diagnostics ~files_scanned =
+  let count st =
+    List.length
+      (List.filter (fun d -> Diag.status_string d.Diag.status = st) diagnostics)
+  in
+  {
+    diagnostics;
+    files_scanned;
+    violations = count "violation";
+    allowlisted = count "allowlisted";
+    baselined = count "baselined";
+  }
+
+let run ?cache ~(config : Config.t) ~baseline ~extra_dirs ~dirs () =
   (* Load path: the stdlib plus every directory that holds a scanned cmt
      (their cmis live alongside), so Envaux can rebuild typing envs. *)
   let cmts = List.concat_map (fun d -> find_cmts d []) dirs in
+  (* Incremental cache: a full digest hit skips reading any cmt at all. *)
+  let cache_key =
+    match cache with
+    | None -> None
+    | Some (path, salt) -> Some (path, Treelint_cache.key ~salt cmts)
+  in
+  match
+    Option.bind cache_key (fun (path, k) -> Treelint_cache.load ~path k)
+  with
+  | Some (diags, files_scanned) -> result_of_diags diags ~files_scanned
+  | None ->
   let cmt_dirs =
     List.sort_uniq String.compare (List.map Filename.dirname cmts)
   in
@@ -709,7 +774,15 @@ let run ~(config : Config.t) ~baseline ~extra_dirs ~dirs () =
       (fun m -> List.concat_map (fun rule -> rule config m) all_rules)
       modules
   in
-  let diagnostics = List.sort Diag.compare diagnostics in
+  (* Interprocedural pass: R7/R8/R9 over the lowered CFGs. *)
+  let libs = Hashtbl.create 64 in
+  List.iter (fun m -> Hashtbl.replace libs m.m_modname m.m_lib) modules;
+  let flow_diags =
+    Treelint_dataflow.run ~config
+      ~mods:(List.map (fun m -> m.m_cfg) modules)
+      ~mod_lib:(fun modname -> Hashtbl.find_opt libs modname)
+  in
+  let diagnostics = List.sort Diag.compare (diagnostics @ flow_diags) in
   List.iter
     (fun d ->
       let keys = Diag.allow_keys d in
@@ -723,14 +796,9 @@ let run ~(config : Config.t) ~baseline ~extra_dirs ~dirs () =
           if List.exists (String.equal (Diag.fingerprint d)) baseline then
             d.Diag.status <- Diag.Baselined)
     diagnostics;
-  let count st =
-    List.length
-      (List.filter (fun d -> Diag.status_string d.Diag.status = st) diagnostics)
-  in
-  {
-    diagnostics;
-    files_scanned = List.length modules;
-    violations = count "violation";
-    allowlisted = count "allowlisted";
-    baselined = count "baselined";
-  }
+  (match cache_key with
+  | Some (path, k) ->
+      Treelint_cache.store ~path k diagnostics
+        ~files_scanned:(List.length modules)
+  | None -> ());
+  result_of_diags diagnostics ~files_scanned:(List.length modules)

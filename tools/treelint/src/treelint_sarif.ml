@@ -1,0 +1,360 @@
+(* SARIF 2.1.0 output, plus a small JSON parser used to validate what we
+   emit (the toolchain has no JSON library; both directions are local).
+
+   Shape choices:
+   - one run, driver "treelint", every rule declared under the driver;
+   - diagnostics map 1:1 to results, in the engine's sorted order;
+   - allowlisted/baselined diagnostics become results carrying a
+     [suppressions] array instead of being dropped, so the SARIF view of
+     a run matches the human report exactly;
+   - dataflow traces become a single-thread [codeFlows] entry;
+   - the fingerprint goes into [partialFingerprints] under "treelint/v1",
+     which is what CI de-duplication keys on. *)
+
+module Diag = Treelint_diag
+
+let schema_uri = "https://json.schemastore.org/sarif-2.1.0.json"
+let tool_version = "2.0.0"
+
+let rule_help = function
+  | "R1" -> "charge discipline: page traffic and cost-model charges"
+  | "R2" -> "layering: references must flow strictly downward"
+  | "R3" -> "determinism: no wall clock, polymorphic hash or compare"
+  | "R4" -> "toplevel mutable state must be reachable from reset/create"
+  | "R5" -> "unsafe array/bytes/string access outside the codec layer"
+  | "R6" -> "shard-failure exceptions stay inside the failover protocol"
+  | "R7" -> "every pin/acquire is released on all paths, including unwinds"
+  | "R8" -> "RNG draws stay inside their stream's owning modules"
+  | "R9" -> "cost-model charges dominate the effects they account for"
+  | r -> r
+
+let level_of = function
+  | Diag.Error -> "error"
+  | Diag.Warning -> "warning"
+  | Diag.Note -> "note"
+
+let esc = Diag.json_escape
+
+let location ~file ~line ~col ?msg () =
+  let message =
+    match msg with
+    | Some m -> Printf.sprintf ", \"message\": {\"text\": \"%s\"}" (esc m)
+    | None -> ""
+  in
+  Printf.sprintf
+    "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \"%s\"}, \
+     \"region\": {\"startLine\": %d, \"startColumn\": %d}}%s}"
+    (esc file) (max 1 line) (col + 1) message
+
+let result_of (d : Diag.t) =
+  let suppression =
+    match d.Diag.status with
+    | Diag.Violation -> ""
+    | Diag.Allowlisted reason ->
+        Printf.sprintf
+          ", \"suppressions\": [{\"kind\": \"inSource\", \"justification\": \
+           \"%s\"}]"
+          (esc reason)
+    | Diag.Baselined ->
+        ", \"suppressions\": [{\"kind\": \"external\", \"justification\": \
+         \"baselined\"}]"
+  in
+  let code_flows =
+    match d.Diag.trace with
+    | [] -> ""
+    | steps ->
+        let tfl =
+          List.map
+            (fun (f, l, c, note) ->
+              Printf.sprintf "{\"location\": %s}"
+                (location ~file:f ~line:l ~col:c ~msg:note ()))
+            steps
+        in
+        Printf.sprintf
+          ", \"codeFlows\": [{\"threadFlows\": [{\"locations\": [%s]}]}]"
+          (String.concat ", " tfl)
+  in
+  Printf.sprintf
+    "{\"ruleId\": \"%s\", \"level\": \"%s\", \"message\": {\"text\": \
+     \"%s\"}, \"locations\": [%s], \"partialFingerprints\": \
+     {\"treelint/v1\": \"%s\"}%s%s}"
+    d.Diag.rule
+    (level_of d.Diag.severity)
+    (esc d.Diag.message)
+    (location ~file:d.Diag.file ~line:d.Diag.line ~col:d.Diag.col ())
+    (esc (Diag.fingerprint d))
+    suppression code_flows
+
+let report diags =
+  let rules =
+    List.sort_uniq String.compare (List.map (fun d -> d.Diag.rule) diags)
+  in
+  let rule_defs =
+    List.map
+      (fun r ->
+        Printf.sprintf
+          "{\"id\": \"%s\", \"shortDescription\": {\"text\": \"%s\"}}" r
+          (esc (rule_help r)))
+      rules
+  in
+  let results = List.map result_of diags in
+  Printf.sprintf
+    "{\n\
+    \  \"$schema\": \"%s\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [{\n\
+    \    \"tool\": {\"driver\": {\"name\": \"treelint\", \"version\": \
+     \"%s\", \"rules\": [%s]}},\n\
+    \    \"results\": [%s]\n\
+    \  }]\n\
+     }\n"
+    schema_uri tool_version
+    (String.concat ", " rule_defs)
+    (String.concat ",\n      " results)
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser                                                *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : (json, string) result =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let m = String.length word in
+    if !pos + m <= n && String.sub s !pos m = word then begin
+      pos := !pos + m;
+      v
+    end
+    else fail ("bad literal, wanted " ^ word)
+  in
+  let string_lit () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        let c = s.[!pos] in
+        advance ();
+        match c with
+        | '"' -> Buffer.contents buf
+        | '\\' -> (
+            if !pos >= n then fail "dangling escape";
+            let e = s.[!pos] in
+            advance ();
+            match e with
+            | '"' -> Buffer.add_char buf '"'; go ()
+            | '\\' -> Buffer.add_char buf '\\'; go ()
+            | '/' -> Buffer.add_char buf '/'; go ()
+            | 'n' -> Buffer.add_char buf '\n'; go ()
+            | 't' -> Buffer.add_char buf '\t'; go ()
+            | 'r' -> Buffer.add_char buf '\r'; go ()
+            | 'b' -> Buffer.add_char buf '\b'; go ()
+            | 'f' -> Buffer.add_char buf '\012'; go ()
+            | 'u' ->
+                if !pos + 4 > n then fail "short \\u escape";
+                let hex = String.sub s !pos 4 in
+                pos := !pos + 4;
+                let code =
+                  try int_of_string ("0x" ^ hex)
+                  with _ -> fail "bad \\u escape"
+                in
+                (* UTF-8 encode the BMP scalar; good enough for our output *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf
+                    (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end;
+                go ()
+            | _ -> fail "unknown escape")
+        | c -> Buffer.add_char buf c; go ()
+    in
+    go ()
+  in
+  let number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match float_of_string_opt lit with
+    | Some f -> Num f
+    | None -> fail "bad number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = string_lit () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((k, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else begin
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elements []
+        end
+    | Some '"' -> Str (string_lit ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> number ()
+  in
+  match
+    let v = value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error m -> Error m
+
+(* accessors *)
+let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+let to_string = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> Some l | _ -> None
+let to_int = function Num f -> Some (int_of_float f) | _ -> None
+
+let mem_str j k = Option.bind (member k j) to_string
+let mem_list j k = Option.value (Option.bind (member k j) to_list) ~default:[]
+
+(* ------------------------------------------------------------------ *)
+(* Structural validation against the parts of SARIF 2.1 we rely on    *)
+(* ------------------------------------------------------------------ *)
+
+let validate (j : json) : (unit, string list) result =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  (match mem_str j "version" with
+  | Some "2.1.0" -> ()
+  | Some v -> err "version is %S, wanted 2.1.0" v
+  | None -> err "missing version");
+  (match mem_str j "$schema" with
+  | Some _ -> ()
+  | None -> err "missing $schema");
+  let runs = mem_list j "runs" in
+  if runs = [] then err "runs is empty or missing";
+  List.iteri
+    (fun ri run ->
+      let driver =
+        Option.bind (member "tool" run) (member "driver")
+        |> Option.value ~default:Null
+      in
+      (match mem_str driver "name" with
+      | Some _ -> ()
+      | None -> err "run %d: missing tool.driver.name" ri);
+      let declared =
+        List.filter_map (fun r -> mem_str r "id") (mem_list driver "rules")
+      in
+      (match member "results" run with
+      | Some (Arr results) ->
+          List.iteri
+            (fun i r ->
+              (match mem_str r "ruleId" with
+              | Some id when List.mem id declared -> ()
+              | Some id -> err "result %d: ruleId %S not declared" i id
+              | None -> err "result %d: missing ruleId" i);
+              (match mem_str r "level" with
+              | Some ("error" | "warning" | "note" | "none") -> ()
+              | Some l -> err "result %d: bad level %S" i l
+              | None -> err "result %d: missing level" i);
+              (match Option.bind (member "message" r) (fun m -> mem_str m "text")
+               with
+              | Some _ -> ()
+              | None -> err "result %d: missing message.text" i);
+              match mem_list r "locations" with
+              | [] -> err "result %d: no locations" i
+              | locs ->
+                  List.iter
+                    (fun l ->
+                      let phys =
+                        Option.value (member "physicalLocation" l)
+                          ~default:Null
+                      in
+                      (match
+                         Option.bind (member "artifactLocation" phys)
+                           (fun a -> mem_str a "uri")
+                       with
+                      | Some _ -> ()
+                      | None ->
+                          err "result %d: location missing artifact uri" i);
+                      match
+                        Option.bind (member "region" phys) (fun r ->
+                            Option.bind (member "startLine" r) to_int)
+                      with
+                      | Some n when n >= 1 -> ()
+                      | Some _ -> err "result %d: startLine < 1" i
+                      | None -> err "result %d: missing region.startLine" i)
+                    locs)
+            results
+      | _ -> err "run %d: missing results array" ri))
+    runs;
+  if !errs = [] then Ok () else Error (List.rev !errs)

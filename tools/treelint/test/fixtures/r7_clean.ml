@@ -1,0 +1,32 @@
+(* R7's disciplined counterparts: every shape here is leak-free and must
+   produce zero diagnostics. *)
+
+module Sim = Tb_sim.Sim
+module Database = Tb_store.Database
+
+(* the canonical fix: release rides the unwind via Fun.protect *)
+let protected_sort sim ~count f =
+  let bytes = count * 8 in
+  Sim.claim_bytes sim bytes;
+  Fun.protect
+    ~finally:(fun () -> Sim.release_bytes sim bytes)
+    (fun () -> f count)
+
+(* the acquired handle escapes upward: the obligation is the caller's,
+   and this helper must NOT be flagged *)
+let escaping_acquire db rid = Database.acquire db rid
+
+(* ...and here is the caller discharging what the helper passed up *)
+let caller_releases db rid =
+  let h = escaping_acquire db rid in
+  Database.unref db h
+
+(* the claim_and_sort contract: the claim survives the normal return (the
+   caller owns it) but a catch-all handler releases it on the unwind *)
+let reraise_release sim kvs ~bytes =
+  Sim.claim_bytes sim bytes;
+  match Array.of_list kvs with
+  | arr -> arr
+  | exception e ->
+      Sim.release_bytes sim bytes;
+      raise e

@@ -1,0 +1,36 @@
+(* R7 fixtures: pin/release obligations that leak on some path out of the
+   acquiring function.  Line numbers are load-bearing for the test table. *)
+
+module Sim = Tb_sim.Sim
+module Rid = Tb_storage.Rid
+module Database = Tb_store.Database
+
+(* The pre-PR-5 sorted_rids shape: the claimed buffer bytes leak when the
+   per-rid callback [f] raises — exactly the bug Fun.protect later fixed. *)
+let leaky_sorted_rids sim ~rids ~count f =
+  let claim = count * Rid.on_disk_bytes in
+  Sim.claim_bytes sim claim;
+  Sim.charge_sort sim count;
+  let arr = Array.of_list rids in
+  Array.sort Rid.compare arr;
+  Array.iter f arr;
+  Sim.release_bytes sim claim
+
+(* released on one branch only: the else-path exits still holding it *)
+let branch_leak db rid ~flag =
+  let h = Database.acquire db rid in
+  if flag then Database.unref db h
+
+(* the acquired handle escapes upward through the summary... *)
+let acquires db rid = Database.acquire db rid
+
+(* ...and the caller never releases it: flagged here, not in [acquires] *)
+let summary_leak db rid f =
+  let h = acquires db rid in
+  f h
+
+(* a pinned handle leaks when the visitor raises mid-span *)
+let handle_leak db rid f =
+  let h = Database.acquire db rid in
+  f h;
+  Database.unref db h

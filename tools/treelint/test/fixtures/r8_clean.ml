@@ -1,0 +1,12 @@
+(* R8's disciplined side: this module owns the "alpha" stream (first entry
+   of its module list in the test config), so creating and drawing here is
+   legal.  Values it returns carry the taint to callers via summaries. *)
+
+module Rng = Tb_sim.Rng
+
+(* creating the stream's generator inside its owner: legal; the result is
+   an alpha RNG wherever it flows *)
+let make_alpha seed = Rng.create seed
+
+(* drawing inside the owner: legal; the returned value is alpha-tainted *)
+let jitter seed = Rng.int (Rng.create seed) 100

@@ -1,0 +1,19 @@
+(* R8 fixtures: foreign draws and tainted charges.  The "alpha" stream is
+   owned by R8_clean; nothing here may draw from its generators or feed
+   its values into a charge. *)
+
+module Rng = Tb_sim.Rng
+module Sim = Tb_sim.Sim
+
+(* drawing on a foreign stream's generator: the RNG identity arrives
+   through R8_clean.make_alpha's summary *)
+let foreign_draw seed =
+  let r = R8_clean.make_alpha seed in
+  Rng.int r 5
+
+(* a value drawn from alpha (legally, inside its owner) reaching a charge
+   here: the replayed cost would depend on who consumed randomness first *)
+let tainted_charge sim seed = Sim.charge_compare sim (R8_clean.jitter seed)
+
+(* an RNG created outside any registered stream *)
+let unregistered () = Rng.create 7

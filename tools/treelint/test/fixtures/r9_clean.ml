@@ -1,0 +1,21 @@
+(* R9's disciplined counterparts: charge first, effect after — directly,
+   or with the charge hoisted into a helper the summaries see through. *)
+
+module Sim = Tb_sim.Sim
+module Disk = Tb_storage.Disk
+
+let accounted_read sim disk page =
+  Sim.charge_disk_read sim;
+  Disk.load_page disk page
+
+let accounted_write sim disk page img =
+  Sim.charge_disk_write sim;
+  Disk.persist disk page img
+
+(* the charge lives in a local helper: its summary guarantees it on every
+   normal return, so the effect downstream is covered *)
+let charge_first sim = Sim.charge_disk_read sim
+
+let helper_charged sim disk page =
+  charge_first sim;
+  Disk.load_page disk page

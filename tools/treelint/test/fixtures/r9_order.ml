@@ -1,0 +1,18 @@
+(* R9 fixtures: the cost-model charge must dominate the storage effect it
+   accounts for.  Every effect below runs on some path with no charge. *)
+
+module Sim = Tb_sim.Sim
+module Disk = Tb_storage.Disk
+
+(* no charge anywhere *)
+let unaccounted_read disk page = Disk.load_page disk page
+
+(* charged on one branch only: the must-join clears it at the effect *)
+let charged_one_branch sim disk page ~hot =
+  if hot then Sim.charge_disk_read sim;
+  Disk.load_page disk page
+
+(* the charge arrives after the effect it was supposed to account for *)
+let late_charge sim disk page img =
+  Disk.persist disk page img;
+  Sim.charge_disk_write sim

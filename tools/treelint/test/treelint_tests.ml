@@ -62,6 +62,19 @@ let expected =
     ("R5", "r5_unsafe.ml", 5, "Bytes.unsafe_get");
     ("R6", "r6_shard_down.ml", 4, "Fault.Shard_down");
     ("R6", "r6_shard_down.ml", 6, "Fault.Shard_down");
+    (* dataflow rules: the pre-PR-5 sorted_rids shape, a branch leak, a
+       summary-transferred obligation dropped by its caller, a pin span
+       broken by a raising visitor *)
+    ("R7", "r7_leak.ml", 12, "simram");
+    ("R7", "r7_leak.ml", 21, "handle:h");
+    ("R7", "r7_leak.ml", 29, "handle:h");
+    ("R7", "r7_leak.ml", 34, "handle:h");
+    ("R8", "r8_taint.ml", 12, "alpha@Rng.int");
+    ("R8", "r8_taint.ml", 16, "alpha->Sim.charge_compare");
+    ("R8", "r8_taint.ml", 19, "?@Rng.create");
+    ("R9", "r9_order.ml", 8, "Disk.load_page");
+    ("R9", "r9_order.ml", 13, "Disk.load_page");
+    ("R9", "r9_order.ml", 17, "Disk.persist");
   ]
 
 let describe (r, f, l, o) = Printf.sprintf "%s %s:%d %s" r f l o
@@ -74,8 +87,8 @@ let test_fixture_diagnostics () =
         (d.Diag.rule, Filename.basename d.Diag.file, d.Diag.line, d.Diag.offender))
       result.Engine.diagnostics
   in
-  check "fixture library scanned (12 modules)"
-    (result.Engine.files_scanned = 12);
+  check "fixture library scanned (18 modules)"
+    (result.Engine.files_scanned = 18);
   check
     (Printf.sprintf "fixture violation count (%d, want %d)"
        result.Engine.violations (List.length expected))
@@ -113,7 +126,37 @@ let test_fixture_diagnostics () =
     (not
        (List.exists
           (fun d -> Filename.basename d.Diag.file = "failover.ml")
-          result.Engine.diagnostics))
+          result.Engine.diagnostics));
+  (* The dataflow rules' disciplined counterparts: Fun.protect spans, an
+     escaping-acquire helper, a catch-all reraise release, owner-module
+     draws, charge-dominates-effect orderings — all must stay silent. *)
+  List.iter
+    (fun f ->
+      check (f ^ " is clean under the dataflow rules")
+        (not
+           (List.exists
+              (fun d -> Filename.basename d.Diag.file = f)
+              result.Engine.diagnostics)))
+    [ "r7_clean.ml"; "r8_clean.ml"; "r9_clean.ml" ];
+  (* leaks carry a path trace (acquire -> raising call -> exit) and gate
+     at error severity *)
+  (match
+     List.find_opt
+       (fun d ->
+         d.Diag.rule = "R7"
+         && Filename.basename d.Diag.file = "r7_leak.ml"
+         && d.Diag.line = 12)
+     result.Engine.diagnostics
+   with
+  | None -> check "sorted_rids leak diagnostic present" false
+  | Some d ->
+      check "sorted_rids leak carries a dataflow trace"
+        (List.length d.Diag.trace >= 2);
+      check "sorted_rids leak is error severity" (d.Diag.severity = Diag.Error));
+  (* deterministic output: the engine hands diagnostics back sorted *)
+  check "diagnostics are sorted by file/line/col/rule/offender"
+    (List.sort Diag.compare result.Engine.diagnostics
+    = result.Engine.diagnostics)
 
 let test_allowlist_member () =
   let result =
@@ -184,6 +227,241 @@ let test_toml_quoted_keys_and_types () =
         (c.Config.allow
         = [ ("R5 Btree Array.unsafe_get", "bounds checked at entry") ]))
 
+(* --- SARIF emission --- *)
+
+module Sarif = Treelint_sarif
+
+let sarif_results j =
+  match Sarif.mem_list j "runs" with
+  | [ r ] -> Sarif.mem_list r "results"
+  | _ -> []
+
+let level_string = function
+  | Diag.Error -> "error"
+  | Diag.Warning -> "warning"
+  | Diag.Note -> "note"
+
+(* One SARIF result mirrors one diagnostic: rule, level, message, primary
+   location, fingerprint, suppression presence, and the code-flow steps. *)
+let result_matches (d : Diag.t) r =
+  let primary_region =
+    match Sarif.mem_list r "locations" with
+    | [ l ] ->
+        Option.bind (Sarif.member "physicalLocation" l) (Sarif.member "region")
+    | _ -> None
+  in
+  let uri =
+    match Sarif.mem_list r "locations" with
+    | [ l ] ->
+        Option.bind (Sarif.member "physicalLocation" l)
+          (Sarif.member "artifactLocation")
+        |> Option.map (fun a -> Sarif.mem_str a "uri")
+        |> Option.join
+    | _ -> None
+  in
+  Sarif.mem_str r "ruleId" = Some d.Diag.rule
+  && Sarif.mem_str r "level" = Some (level_string d.Diag.severity)
+  && (match Sarif.member "message" r with
+     | Some m -> Sarif.mem_str m "text" = Some d.Diag.message
+     | None -> false)
+  && uri = Some d.Diag.file
+  && Option.bind primary_region (fun reg -> Option.bind (Sarif.member "startLine" reg) Sarif.to_int)
+     = Some (max 1 d.Diag.line)
+  && (match Sarif.member "partialFingerprints" r with
+     | Some pf -> Sarif.mem_str pf "treelint/v1" = Some (Diag.fingerprint d)
+     | None -> false)
+  && List.length (Sarif.mem_list r "suppressions")
+     = (match d.Diag.status with Diag.Violation -> 0 | _ -> 1)
+  &&
+  let flow_steps =
+    match Sarif.mem_list r "codeFlows" with
+    | [ cf ] -> (
+        match Sarif.mem_list cf "threadFlows" with
+        | [ tf ] -> List.length (Sarif.mem_list tf "locations")
+        | _ -> -1)
+    | [] -> 0
+    | _ -> -1
+  in
+  flow_steps = List.length d.Diag.trace
+
+let test_sarif_fixture_report () =
+  let result = run () in
+  let s = Sarif.report result.Engine.diagnostics in
+  match Sarif.parse s with
+  | Error msg -> check ("sarif parses: " ^ msg) false
+  | Ok j ->
+      check "fixture sarif validates" (Sarif.validate j = Ok ());
+      let results = sarif_results j in
+      check "fixture sarif result count"
+        (List.length results = List.length result.Engine.diagnostics);
+      if List.length results = List.length result.Engine.diagnostics then
+        check "fixture sarif results mirror the diag list"
+          (List.for_all2 result_matches result.Engine.diagnostics results)
+
+(* Property: any diagnostic list — hostile strings included — survives the
+   report -> parse -> compare round trip. *)
+let test_sarif_roundtrip_qcheck () =
+  let open QCheck in
+  let gstr = Gen.string_size ~gen:Gen.printable (Gen.int_range 0 24) in
+  let gstep = Gen.quad gstr Gen.small_nat Gen.small_nat gstr in
+  let gdiag =
+    Gen.map
+      (fun ((rule, file, line, col), (modname, offender, message), severity, (status, trace)) ->
+        {
+          Diag.rule;
+          file;
+          line;
+          col;
+          modname;
+          offender;
+          message;
+          severity;
+          trace;
+          status;
+        })
+      (Gen.quad
+         (Gen.quad (Gen.oneofl [ "R1"; "R3"; "R7"; "R8"; "R9" ]) gstr
+            Gen.small_nat Gen.small_nat)
+         (Gen.triple gstr gstr gstr)
+         (Gen.oneofl [ Diag.Error; Diag.Warning; Diag.Note ])
+         (Gen.pair
+            (Gen.oneof
+               [
+                 Gen.return Diag.Violation;
+                 Gen.map (fun s -> Diag.Allowlisted s) gstr;
+                 Gen.return Diag.Baselined;
+               ])
+            (Gen.list_size (Gen.int_range 0 3) gstep)))
+  in
+  let arb = make (Gen.list_size (Gen.int_range 0 6) gdiag) in
+  let prop diags =
+    let s = Sarif.report diags in
+    match Sarif.parse s with
+    | Error e -> Test.fail_reportf "emitted SARIF fails to parse: %s" e
+    | Ok j -> (
+        match Sarif.validate j with
+        | Error es ->
+            Test.fail_reportf "emitted SARIF invalid: %s"
+              (String.concat "; " es)
+        | Ok () ->
+            let results = sarif_results j in
+            List.length results = List.length diags
+            && List.for_all2 result_matches diags results)
+  in
+  let t = Test.make ~count:200 ~name:"sarif roundtrip" arb prop in
+  check "sarif qcheck roundtrip"
+    (match Test.check_exn t with
+    | () -> true
+    | exception e ->
+        print_endline ("  " ^ Printexc.to_string e);
+        false)
+
+(* --- incremental cache --- *)
+
+let diag_key d =
+  ( d.Diag.rule,
+    d.Diag.file,
+    d.Diag.line,
+    d.Diag.col,
+    d.Diag.offender,
+    d.Diag.severity,
+    d.Diag.trace,
+    Diag.status_string d.Diag.status )
+
+let test_cache_identity () =
+  let config = Config.load "treelint_test.toml" in
+  let path = Filename.temp_file ~temp_dir:"." "treelint_cache" ".bin" in
+  Sys.remove path;
+  let go ~salt =
+    Engine.run ~cache:(path, salt) ~config ~baseline:[] ~extra_dirs
+      ~dirs:[ fixtures_dir ] ()
+  in
+  let cold = go ~salt:"salt0" in
+  check "cache file written on a cold run" (Sys.file_exists path);
+  let warm = go ~salt:"salt0" in
+  check "warm cache replays identical findings"
+    (List.map diag_key cold.Engine.diagnostics
+     = List.map diag_key warm.Engine.diagnostics
+    && cold.Engine.files_scanned = warm.Engine.files_scanned
+    && cold.Engine.violations = warm.Engine.violations);
+  (* a config/baseline change (new salt) must invalidate, and the re-scan
+     must land on the same findings *)
+  let rescan = go ~salt:"salt1" in
+  check "salt change rescans to the same findings"
+    (List.map diag_key cold.Engine.diagnostics
+    = List.map diag_key rescan.Engine.diagnostics);
+  if Sys.file_exists path then Sys.remove path
+
+(* --- the CLI: --update-baseline rewrite order, baseline gating --- *)
+
+let treelint_bin = "../bin/treelint_main.exe"
+
+let run_cli args =
+  let cmi_args =
+    String.concat " "
+      (List.map
+         (fun d -> "--cmi " ^ Filename.quote (Filename.concat d "x.cmi"))
+         extra_dirs)
+  in
+  Sys.command
+    (Printf.sprintf "%s --config treelint_test.toml %s %s %s > /dev/null"
+       treelint_bin cmi_args args fixtures_dir)
+
+let test_update_baseline () =
+  if not (Sys.file_exists treelint_bin) then
+    check "update-baseline: treelint binary present" false
+  else begin
+    let baseline = Filename.temp_file ~temp_dir:"." "treelint_baseline" ".txt" in
+    Fun.protect
+      ~finally:(fun () -> if Sys.file_exists baseline then Sys.remove baseline)
+      (fun () ->
+        let rc =
+          run_cli
+            (Printf.sprintf "--baseline %s --update-baseline"
+               (Filename.quote baseline))
+        in
+        check "update-baseline: rewrite exits 0" (rc = 0);
+        (* the rewritten file holds each violation's fingerprint once, in
+           source order (the engine's deterministic diagnostic order) *)
+        let all = run () in
+        let seen = Hashtbl.create 64 in
+        let expected_lines =
+          List.filter_map
+            (fun d ->
+              let fp = Diag.fingerprint d in
+              if Hashtbl.mem seen fp then None
+              else begin
+                Hashtbl.replace seen fp ();
+                Some fp
+              end)
+            all.Engine.diagnostics
+        in
+        let written =
+          let ic = open_in baseline in
+          let rec go acc =
+            match input_line ic with
+            | l ->
+                let l = String.trim l in
+                go (if l = "" || l.[0] = '#' then acc else l :: acc)
+            | exception End_of_file ->
+                close_in ic;
+                List.rev acc
+          in
+          go []
+        in
+        check "update-baseline: fingerprints in stable source order"
+          (written = expected_lines);
+        (* under the rewritten baseline every finding is grandfathered:
+           the gate opens *)
+        let rc2 =
+          run_cli (Printf.sprintf "--baseline %s" (Filename.quote baseline))
+        in
+        check "update-baseline: baselined run exits 0" (rc2 = 0);
+        (* without it, error-severity violations gate *)
+        let rc3 = run_cli "" in
+        check "violations gate with exit 1" (rc3 = 1))
+  end
+
 let expect_parse_error name contents =
   with_temp_config contents (fun path ->
       check name
@@ -202,6 +480,10 @@ let () =
   test_allowlist_member ();
   test_allowlist_module_wide ();
   test_baseline ();
+  test_sarif_fixture_report ();
+  test_sarif_roundtrip_qcheck ();
+  test_cache_identity ();
+  test_update_baseline ();
   test_toml_multiline_list ();
   test_toml_quoted_keys_and_types ();
   test_toml_errors ();
