@@ -53,6 +53,11 @@ let sel_q =
      Printf.sprintf "select pa.age from pa in Patients where pa.num < %d"
        (Array.length b.Tb_derby.Generator.patients / 2))
 
+let opt_stats =
+  lazy
+    (let b = Lazy.force built in
+     Tb_statcore.Stat_catalog.analyze b.Tb_derby.Generator.db)
+
 let tests () =
   let open Bechamel in
   let t name f = Test.make ~name (Staged.stage f) in
@@ -60,6 +65,26 @@ let tests () =
     (* Figure 6: selection through an unclustered index, unsorted. *)
     t "fig6.index_scan" (fun () ->
         run_query ~force_sorted:false (Lazy.force sel_q) ());
+    (* The optimizer itself: enumerate + cost + pick over the Figure 6
+       selectivity sweep, no execution — bounds what `--optimize` adds on
+       top of a forced run.  The catalog is analyzed once and retained,
+       as a session would. *)
+    t "fig6.optimizer_sweep" (fun () ->
+        let b = Lazy.force built in
+        let db = b.Tb_derby.Generator.db in
+        let stats = Lazy.force opt_stats in
+        let n = Array.length b.Tb_derby.Generator.patients in
+        List.fold_left
+          (fun acc permille ->
+            let d =
+              Tb_query.Planner.optimize ~stats db
+                (Printf.sprintf
+                   "select pa.age from pa in Patients where pa.num < %d"
+                   (permille * n / 1000))
+            in
+            acc + List.length d.Tb_query.Planner.d_candidates)
+          0
+          [ 1; 10; 50; 100; 300; 600; 900 ]);
     (* Figure 7: the sorted variant and the full scan it competes with. *)
     t "fig7.sorted_index_scan" (fun () ->
         run_query ~force_sorted:true (Lazy.force sel_q) ());

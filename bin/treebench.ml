@@ -139,6 +139,18 @@ let query_cmd =
     in
     Arg.(value & flag & info [ "explain" ] ~doc)
   in
+  let optimize_arg =
+    let doc =
+      "Run the four-stage optimizer pipeline (enumerate, cost, pick, \
+       validate) instead of the forced path: every candidate plan is \
+       costed from catalog statistics, the argmin executes, and each \
+       operator's estimate is reconciled against its accounted frame.  \
+       With --explain the per-operator estimated-vs-actual columns and the \
+       feedback summary are printed.  Excludes --algo/--seq/--sorted and \
+       --shards > 1."
+    in
+    Arg.(value & flag & info [ "optimize" ] ~doc)
+  in
   let shards_arg =
     let doc =
       "Run the query over $(docv) hash-partitioned shards.  Parallelism is \
@@ -226,11 +238,68 @@ let query_cmd =
         (Tb_query.Query_result.sample r);
     Tb_query.Query_result.dispose r
   in
-  let run oql scale shape org algo seq sorted show explain shards replicas
-      chaos_seed =
+  let run_optimized oql ~scale ~shape ~org ~show ~explain =
+    let b = build_db ~scale ~shape ~org in
+    let db = b.Tb_derby.Generator.db in
+    let organization =
+      Tb_derby.Generator.estimate_organization b.Tb_derby.Generator.cfg
+    in
+    Tb_store.Database.cold_restart db;
+    let r, d, global, checks =
+      Tb_query.Planner.run_optimized_explained db oql ~organization ~keep:show
+    in
+    Format.printf "optimizer: %d candidates, chose %s (est %.3f ms)@."
+      (List.length d.Tb_query.Planner.d_candidates)
+      d.Tb_query.Planner.d_desc d.Tb_query.Planner.d_cost_ms;
+    List.iteri
+      (fun i ch ->
+        if i < 3 then
+          Format.printf "  #%d %-44s %12.3f ms@." (i + 1)
+            ch.Tb_query.Planner.ch_desc ch.Tb_query.Planner.ch_cost_ms)
+      d.Tb_query.Planner.d_candidates;
+    Format.printf "plan: %a@." Tb_query.Plan.pp d.Tb_query.Planner.d_plan;
+    Format.printf "rows=%d  actual=%.3f ms@."
+      (Tb_query.Query_result.count r)
+      global.Tb_query.Op.t_ms;
+    if explain then begin
+      Format.printf "%a"
+        (Tb_query.Op.Est.pp_report ~global)
+        d.Tb_query.Planner.d_root;
+      let fed =
+        List.filter (fun c -> c.Tb_query.Exec.ec_fed_back) checks
+      in
+      Format.printf
+        "validate: %d operators checked, %d corrections fed back, worst \
+         q-error %.2f@."
+        (List.length checks) (List.length fed)
+        (Tb_query.Exec.worst_q checks)
+    end;
+    if show then
+      List.iter
+        (fun v -> Format.printf "  %a@." Tb_store.Value.pp v)
+        (Tb_query.Query_result.sample r);
+    Tb_query.Query_result.dispose r
+  in
+  let run oql scale shape org algo seq sorted show explain optimize shards
+      replicas chaos_seed =
     if shards < 1 then begin
       Printf.eprintf "treebench: --shards expects a positive count\n";
       exit 2
+    end;
+    if optimize then begin
+      if shards > 1 then begin
+        Printf.eprintf
+          "treebench: --optimize plans single-node queries (use \
+           Planner.optimize_sharded for the break-even analysis)\n";
+        exit 2
+      end;
+      (match (algo, seq, sorted) with
+      | None, false, None -> ()
+      | _ ->
+          Printf.eprintf
+            "treebench: --optimize searches the whole candidate space; it \
+             excludes --algo, --seq and --sorted\n";
+          exit 2)
     end;
     let extent = (Tb_derby.Generator.config ~scale shape org).n_providers in
     if shards > extent then begin
@@ -257,6 +326,7 @@ let query_cmd =
     if shards > 1 then
       run_sharded oql ~scale ~shape ~org ~shards ~replicas ~chaos_seed ~algo
         ~seq ~sorted ~show ~explain
+    else if optimize then run_optimized oql ~scale ~shape ~org ~show ~explain
     else begin
     let b = build_db ~scale ~shape ~org in
     let organization =
@@ -294,8 +364,8 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc)
     Term.(
       const run $ oql_arg $ scale_arg $ shape_arg $ org_arg $ algo_arg
-      $ seq_arg $ sorted_arg $ show_arg $ explain_arg $ shards_arg
-      $ replicas_arg $ chaos_seed_arg)
+      $ seq_arg $ sorted_arg $ show_arg $ explain_arg $ optimize_arg
+      $ shards_arg $ replicas_arg $ chaos_seed_arg)
 
 (* --- plan --- *)
 

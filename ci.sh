@@ -50,6 +50,13 @@ fi
 # or changes the batch size shown in its label — run `dune promote` and
 # commit the updated .expected.
 #
+# The optimizer-choice snapshots (test/snapshot/optimizer.expected) ride the
+# same pass: chosen plan + top-3 candidate costs across the Figure 6
+# selectivity sweep, the index-vs-scan switch point, and the sharded
+# break-even, all derived from catalog statistics without executing.  A
+# cost-model change that moves a crossover shows up as a diff here — promote
+# it only if the new verdicts are intended.
+#
 # Sharding gates ride in the same pass: test/shard_parity_tests.ml runs the
 # full algorithm x access-path matrix on twin S=1/S=4 databases (identical
 # result multisets, per-shard frames reconciling exactly against the global

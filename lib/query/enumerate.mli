@@ -1,0 +1,26 @@
+(** Stage one of the optimizer pipeline: the candidate space.
+
+    Expands a bound query into every (join algorithm × access path per
+    side × packed/handle mode) plan the lowering can execute, in an order
+    that encodes the tie policy — the cost stage's argmin keeps the first
+    candidate on equal cost, so index paths precede scans, the paper's
+    algorithms keep {!Estimate.all_algos} order, and packed precedes
+    handle evaluation.  Pure catalog arithmetic: no page access, no
+    charges. *)
+
+type candidate = {
+  c_plan : Plan.t;
+  c_packed : bool;  (** lower with packed-bytes evaluation *)
+  c_desc : string;
+      (** human-readable shape, e.g. ["PHJ parent=index child=seq packed"] *)
+}
+
+(** The full candidate list for a bound query.  Inverse-requiring
+    algorithms are dropped when the schema declares no back-reference;
+    NL's child side and NOJOIN's parent side stay scans (their predicates
+    are evaluated during navigation). *)
+val candidates :
+  Tb_statcore.Stat_catalog.t ->
+  Tb_store.Database.t ->
+  Plan.bound ->
+  candidate list

@@ -37,12 +37,21 @@ type env = {
 }
 
 (** Expected distinct pages touched when [n] uniform references hit a
-    [pages]-page file. *)
-val distinct_pages : n:float -> pages:float -> float
+    [pages]-page file.  Clamped at both boundaries: zero when the file is
+    empty (or [n] non-positive), and saturating at [pages] once [n] covers
+    every stored row ([rows_per_page], default infinity, sets that limit). *)
+val distinct_pages : ?rows_per_page:float -> n:float -> pages:float -> unit -> float
 
 (** Cost (ms) of [n] random record fetches against a [pages]-page file
     behind an LRU cache of [cache] pages, cold start. *)
-val random_fetch_ms : cost:Tb_sim.Cost_model.t -> n:float -> pages:float -> cache:float -> float
+val random_fetch_ms :
+  ?rows_per_page:float ->
+  cost:Tb_sim.Cost_model.t ->
+  n:float ->
+  pages:float ->
+  cache:float ->
+  unit ->
+  float
 
 (** {2 Selections} *)
 
@@ -59,3 +68,31 @@ val all_algos : Plan.join_algo list
 (** All algorithms ranked, best first (ties keep [all_algos] order, so the
     paper's four originals win ties against the extensions). *)
 val rank_joins : env -> (Plan.join_algo * float) list
+
+(** {2 Per-operator estimation — the optimizer's cost stage}
+
+    Where the closed forms above predict a whole query at once, [annotate]
+    attaches the same components to the operators that will actually accrue
+    them, writing one {!Op.est} per node of a lowered tree.  Pure
+    arithmetic over {!Tb_statcore.Stat_catalog} statistics — no database
+    access, no charges — and every ms figure passes through the catalog's
+    per-key correction, which is how validate-stage feedback reaches the
+    next optimization round. *)
+
+(** The feedback/correction key for an operator: its opcode plus the class
+    it works over, so the two sides of a join correct independently. *)
+val est_key : Op.t -> string
+
+(** Predicate selectivity from catalog statistics: the indexed histogram
+    window when an index covers the attribute, System-R magic numbers
+    otherwise. *)
+val stat_pred_sel : Tb_statcore.Stat_catalog.t -> cls:string -> Plan.attr_pred -> float
+
+(** Write an estimate on every node of a lowered tree (bottom-up). *)
+val annotate :
+  stats:Tb_statcore.Stat_catalog.t -> ?organization:organization -> Op.t -> unit
+
+(** Plan-level estimated elapsed ms over an annotated tree: a plain sum,
+    except a Gather root takes the slowest lane plus its own shipping
+    (fork/join, mirroring the simulated clock's lane model). *)
+val plan_cost_ms : Op.t -> float

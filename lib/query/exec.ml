@@ -681,7 +681,7 @@ let rec retarget db node =
     | Op.Shard_lane _ | Op.Exchange _ | Op.Gather _ ->
         invalid_arg "Exec: cannot retarget a sharding operator"
   in
-  { Op.kind; frame = node.Op.frame }
+  { Op.kind; frame = node.Op.frame; est = node.Op.est }
 
 (* Promote until a replica passes its checksum walk (a refusing replica is
    consumed, so the loop advances); fail the query only when the shard has
@@ -1020,3 +1020,49 @@ let run_sharded_explained smap root ~keep =
       failovers;
       degraded = (match failovers with [] -> false | _ :: _ -> true);
     } )
+
+(* --- validate: reconcile estimates against accounted frames --- *)
+
+type est_check = {
+  ec_label : string;
+  ec_key : string;
+  ec_est_ms : float;
+  ec_actual_ms : float;
+  ec_q : float;
+  ec_fed_back : bool;
+}
+
+(* The fourth optimizer stage: after a run, compare every operator's
+   estimate against the ms its accounted frame actually accrued.  Operators
+   whose q-error exceeds [threshold] feed a correction back into the stat
+   catalog — [Stat_catalog.observe] rescales that operator's key so the
+   next optimization of the same logical query estimates it exactly.  The
+   walk only reads frames; it never charges. *)
+let validate ?(threshold = 2.0) ~stats root =
+  let checks = ref [] in
+  Op.iter
+    (fun n ->
+      match Op.Est.get n with
+      | None -> ()
+      | Some e ->
+          let actual = n.Op.frame.Op.ms in
+          let q = Op.Est.q ~est:e.Op.est_ms ~actual in
+          let fed = q > threshold in
+          if fed then
+            Tb_statcore.Stat_catalog.observe stats ~key:(Estimate.est_key n)
+              ~est_ms:e.Op.est_ms ~actual_ms:actual;
+          checks :=
+            {
+              ec_label = Op.label n;
+              ec_key = Estimate.est_key n;
+              ec_est_ms = e.Op.est_ms;
+              ec_actual_ms = actual;
+              ec_q = q;
+              ec_fed_back = fed;
+            }
+            :: !checks)
+    root;
+  List.rev !checks
+
+let worst_q checks =
+  List.fold_left (fun acc c -> Float.max acc c.ec_q) 1.0 checks

@@ -71,3 +71,28 @@ val run_sharded_explained :
   Op.t ->
   keep:bool ->
   Query_result.t * Op.totals * lane_report
+
+(** {2 Validate — the fourth optimizer stage}
+
+    After execution, each annotated operator's estimate is reconciled
+    against the ms its accounted frame accrued. *)
+
+type est_check = {
+  ec_label : string;  (** [Op.label] of the operator *)
+  ec_key : string;  (** its correction key ({!Estimate.est_key}) *)
+  ec_est_ms : float;
+  ec_actual_ms : float;
+  ec_q : float;  (** q-error, [max (est/actual, actual/est)] *)
+  ec_fed_back : bool;  (** exceeded the threshold: correction recorded *)
+}
+
+(** [validate ~stats root] walks an executed, annotated tree in pre-order
+    and returns one check per estimated operator.  Operators whose q-error
+    exceeds [threshold] (default 2.0) feed a correction back into [stats]
+    ({!Tb_statcore.Stat_catalog.observe}), so re-optimizing the same query
+    converges.  Reads frames only; never charges. *)
+val validate :
+  ?threshold:float -> stats:Tb_statcore.Stat_catalog.t -> Op.t -> est_check list
+
+(** Largest q-error in a check list (1.0 when empty). *)
+val worst_q : est_check list -> float

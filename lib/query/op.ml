@@ -40,6 +40,17 @@ type frame = {
   mutable ms : float;  (** simulated clock advanced while live *)
 }
 
+(* The cost stage's per-operator prediction, written by Estimate.annotate
+   before execution.  Mirrors the frame {!Acct} fills during execution, in
+   the units the validate stage compares: rows produced, pages touched,
+   Handles allocated, simulated ms. *)
+type est = {
+  est_rows : float;
+  est_pages : float;
+  est_handles : float;
+  est_ms : float;
+}
+
 type kind =
   | Seq_scan of { cls : string }
   | Index_scan of { index : Index_def.t; lo : int option; hi : int option }
@@ -105,7 +116,7 @@ type kind =
       (** merge N shard lanes after the join point; order-preserving
           (streamed merge on the sort key) when [ordered] *)
 
-and t = { kind : kind; frame : frame }
+and t = { kind : kind; frame : frame; mutable est : est option }
 
 let fresh_frame () =
   {
@@ -122,7 +133,7 @@ let fresh_frame () =
     ms = 0.0;
   }
 
-let make kind = { kind; frame = fresh_frame () }
+let make kind = { kind; frame = fresh_frame (); est = None }
 
 let children node =
   match node.kind with
@@ -400,4 +411,67 @@ module Acct = struct
       flush t;
       t.cur <- frame
     end
+end
+
+(* --- estimates: the cost stage's mirror of Acct ---
+
+   Acct attributes what actually accrued; Est carries what the optimizer
+   predicted would accrue.  Both hang off the same node so the validate
+   stage (and the --optimize --explain report) can put the two columns side
+   by side and compute per-operator q-errors. *)
+module Est = struct
+  let set node e = node.est <- Some e
+  let get node = node.est
+  let clear root = iter (fun n -> n.est <- None) root
+
+  (* q-error between an estimated and an accounted ms, floored at 0.01 ms
+     (below the cost model's practical resolution) so near-zero pairs
+     compare as exact rather than exploding the ratio. *)
+  let q ~est ~actual =
+    let e = Float.max 0.01 est and a = Float.max 0.01 actual in
+    Float.max (e /. a) (a /. e)
+
+  let sum_ms root =
+    let acc = ref 0.0 in
+    iter
+      (fun n -> match n.est with Some e -> acc := !acc +. e.est_ms | None -> ())
+      root;
+    !acc
+
+  let report_line ppf ~name ~depth n =
+    let fr = n.frame in
+    match n.est with
+    | Some e ->
+        Format.fprintf ppf "%-46s %10.0f %9d %8.0f %6d %12.3f %12.3f %8.2f@."
+          (String.make (2 * depth) ' ' ^ name)
+          e.est_rows fr.rows_out e.est_pages fr.pages_read e.est_ms fr.ms
+          (q ~est:e.est_ms ~actual:fr.ms)
+    | None ->
+        Format.fprintf ppf "%-46s %10s %9d %8s %6d %12s %12.3f %8s@."
+          (String.make (2 * depth) ' ' ^ name)
+          "-" fr.rows_out "-" fr.pages_read "-" fr.ms "-"
+
+  (* Estimated-vs-actual rendering: one row per operator with the
+     prediction next to the accounted frame, closing with plan-level
+     totals and the worst per-operator q-error. *)
+  let pp_report ~global ppf node =
+    Format.fprintf ppf "%-46s %10s %9s %8s %6s %12s %12s %8s@." "operator"
+      "est_rows" "rows_out" "est_pg" "pg_r" "est_ms" "ms" "q(ms)";
+    let rec go depth n =
+      report_line ppf ~name:(label n) ~depth n;
+      List.iter (go (depth + 1)) (children n)
+    in
+    go 0 node;
+    let est_total = sum_ms node in
+    let worst = ref 1.0 in
+    iter
+      (fun n ->
+        match n.est with
+        | Some e -> worst := Float.max !worst (q ~est:e.est_ms ~actual:n.frame.ms)
+        | None -> ())
+      node;
+    Format.fprintf ppf "%-46s %10s %9s %8s %6s %12.3f %12.3f %8.2f@."
+      "= plan totals" "" "" "" "" est_total global.t_ms
+      (q ~est:est_total ~actual:global.t_ms);
+    Format.fprintf ppf "= worst operator q-error: %.2f@." !worst
 end

@@ -116,7 +116,16 @@ type kind =
           merge loop itself never charges — shipping and merge comparisons
           are charged at this node by the executor. *)
 
-and t = { kind : kind; frame : frame }
+and t = { kind : kind; frame : frame; mutable est : est option }
+
+(** The cost stage's per-operator prediction ({!Estimate.annotate} writes
+    it, {!Est} compares it against the accounted frame). *)
+and est = {
+  est_rows : float;
+  est_pages : float;
+  est_handles : float;
+  est_ms : float;
+}
 
 val make : kind -> t
 val fresh_frame : unit -> frame
@@ -180,4 +189,31 @@ module Acct : sig
 
   (** Attribute the tail of the run to the current frame. *)
   val flush : acct -> unit
+end
+
+(** {2 Estimates}
+
+    The cost stage's mirror of {!Acct}: where Acct attributes what actually
+    accrued to each operator, Est carries what the optimizer predicted.
+    Both hang off the same node, so the validate stage can compute
+    per-operator q-errors and the [--optimize --explain] report can print
+    the two columns side by side. *)
+module Est : sig
+  val set : t -> est -> unit
+  val get : t -> est option
+
+  (** Drop every estimate in the tree. *)
+  val clear : t -> unit
+
+  (** q-error [max (est/actual, actual/est)], both sides floored at
+      0.01 ms so near-zero pairs compare as exact. *)
+  val q : est:float -> actual:float -> float
+
+  (** Sum of the tree's estimated ms (barrier semantics are
+      {!Estimate.plan_cost_ms}'s job — this is the plain sum). *)
+  val sum_ms : t -> float
+
+  (** Estimated-vs-actual rendering: per-operator est/actual columns with
+      q-errors, plan totals, and the worst per-operator q-error. *)
+  val pp_report : global:totals -> Format.formatter -> t -> unit
 end

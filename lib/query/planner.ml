@@ -702,3 +702,145 @@ let run_sharded ?mode ?organization ?force_algo ?force_sorted ?force_seq
       ?force_seq ?packed ?batch ?keep smap text
   in
   result
+
+(* --- the optimizer pipeline: enumerate -> cost -> pick -> validate --- *)
+
+module Sc = Tb_statcore.Stat_catalog
+
+(* The explicit path under its pipeline name: benches and the golden
+   fingerprint lower a [plan]-chosen (or forced) plan directly, bypassing
+   enumeration.  Byte-identical to [lower] by construction. *)
+let lower_forced = lower
+
+type choice = {
+  ch_desc : string;
+  ch_packed : bool;
+  ch_cost_ms : float;
+}
+
+type decision = {
+  d_plan : Plan.t;
+  d_root : Op.t;  (* lowered + annotated chosen tree *)
+  d_desc : string;
+  d_packed : bool;
+  d_cost_ms : float;
+  d_candidates : choice list;  (* every candidate, ranked best-first *)
+  d_stats : Sc.t;
+  d_organization : Estimate.organization;
+}
+
+(* [optimize db text] runs the first three stages: enumerate the candidate
+   space, lower and cost every candidate against catalog statistics, and
+   pick the argmin.  The argmin is strict-<, so on equal cost the FIRST
+   enumerated candidate wins — which is how the tie policy (originals over
+   extensions, index over scan, packed over handle) is enforced.
+
+   Statistics default to a fresh [Stat_catalog.analyze]; pass a retained
+   catalog to let validate-stage feedback from earlier runs reach this
+   optimization. *)
+let optimize ?stats ?organization ?(batch = 256) db text =
+  let q = Oql_parser.parse text in
+  let stats = match stats with Some s -> s | None -> Sc.analyze db in
+  let bound = Plan.bind db q in
+  let organization =
+    match organization with
+    | Some o -> o
+    | None -> (
+        match bound with
+        | Plan.B_hier { parent_cls; child_cls; _ } ->
+            default_organization db ~parent_cls ~child_cls
+        | Plan.B_selection _ -> Estimate.Separate_files)
+  in
+  let scored =
+    List.map
+      (fun (c : Enumerate.candidate) ->
+        let root = lower ~packed:c.Enumerate.c_packed ~batch c.Enumerate.c_plan in
+        Estimate.annotate ~stats ~organization root;
+        (c, root, Estimate.plan_cost_ms root))
+      (Enumerate.candidates stats db bound)
+  in
+  match scored with
+  | [] -> raise (Plan.Unsupported "optimizer: empty candidate space")
+  | first :: rest ->
+      let best =
+        List.fold_left
+          (fun acc x ->
+            let _, _, acc_ms = acc and _, _, x_ms = x in
+            if x_ms < acc_ms then x else acc)
+          first rest
+      in
+      let c, root, cost_ms = best in
+      let ranked =
+        List.stable_sort
+          (fun a b -> Float.compare a.ch_cost_ms b.ch_cost_ms)
+          (List.map
+             (fun ((c : Enumerate.candidate), _, ms) ->
+               {
+                 ch_desc = c.Enumerate.c_desc;
+                 ch_packed = c.Enumerate.c_packed;
+                 ch_cost_ms = ms;
+               })
+             scored)
+      in
+      {
+        d_plan = c.Enumerate.c_plan;
+        d_root = root;
+        d_desc = c.Enumerate.c_desc;
+        d_packed = c.Enumerate.c_packed;
+        d_cost_ms = cost_ms;
+        d_candidates = ranked;
+        d_stats = stats;
+        d_organization = organization;
+      }
+
+(* Optimize, execute, validate: the full four-stage pipeline.  The
+   returned checks carry per-operator q-errors; mis-estimates have already
+   fed corrections back into the decision's catalog. *)
+let run_optimized_explained ?stats ?organization ?batch ?(keep = false) db text =
+  let d = optimize ?stats ?organization ?batch db text in
+  let result, global = Exec.run_explained db d.d_root ~keep in
+  let checks = Exec.validate ~stats:d.d_stats d.d_root in
+  (result, d, global, checks)
+
+let run_optimized ?stats ?organization ?batch ?keep db text =
+  let result, _, _, _ =
+    run_optimized_explained ?stats ?organization ?batch ?keep db text
+  in
+  result
+
+(* --- sharded break-even from statistics alone --- *)
+
+type shard_decision = {
+  sd_shards : int;
+  sd_unsharded_ms : float;  (* best single-node candidate *)
+  sd_sharded_ms : float;  (* the same plan sharded, fork/join elapsed *)
+  sd_use_sharded : bool;
+  sd_decision : decision;  (* the underlying single-node optimization *)
+}
+
+(* Compare the best single-node plan against its sharded rewrite, both
+   costed from the merged global catalog (each Shard_lane estimates
+   against a 1/S-scaled view).  Nothing executes: the break-even comes
+   from statistics alone. *)
+let optimize_sharded ?organization ?(batch = 256) smap text =
+  let shards = Shard_map.count smap in
+  let stats =
+    Sc.merge
+      (List.init shards (fun s -> Sc.analyze (Shard_map.shard smap s)))
+  in
+  let d = optimize ~stats ?organization ~batch (Shard_map.shard smap 0) text in
+  let sharded_ms =
+    if shards = 1 then d.d_cost_ms
+    else begin
+      let root = lower_sharded ~packed:d.d_packed ~batch smap d.d_plan in
+      Estimate.annotate ~stats ~organization:d.d_organization root;
+      Estimate.plan_cost_ms root
+    end
+  in
+  {
+    sd_shards = shards;
+    sd_unsharded_ms = d.d_cost_ms;
+    sd_sharded_ms = sharded_ms;
+    sd_use_sharded = sharded_ms < d.d_cost_ms;
+    sd_decision = d;
+  }

@@ -125,3 +125,91 @@ val run_sharded_explained :
   Tb_store.Shard_map.t ->
   string ->
   Query_result.t * Op.t * Op.totals * Exec.lane_report
+
+(** {2 The optimizer pipeline — enumerate → cost → pick → validate}
+
+    The explicit path above ([plan] + [lower], with its [force_*] knobs)
+    survives as the forced path; the pipeline below searches the whole
+    candidate space instead. *)
+
+(** [lower_forced] is {!lower} under its pipeline name: the forced path
+    benches and the golden fingerprint use, bypassing enumeration. *)
+val lower_forced : ?packed:bool -> ?batch:int -> Plan.t -> Op.t
+
+(** One costed candidate, for explain output and snapshots. *)
+type choice = {
+  ch_desc : string;  (** e.g. ["PHJ parent=index child=seq packed"] *)
+  ch_packed : bool;
+  ch_cost_ms : float;
+}
+
+(** The pick stage's output: the chosen plan, its lowered and annotated
+    tree (ready to execute), and the whole ranked candidate space. *)
+type decision = {
+  d_plan : Plan.t;
+  d_root : Op.t;
+  d_desc : string;
+  d_packed : bool;
+  d_cost_ms : float;
+  d_candidates : choice list;  (** ranked best-first; ties keep enumeration order *)
+  d_stats : Tb_statcore.Stat_catalog.t;
+  d_organization : Estimate.organization;
+}
+
+(** [optimize db text] enumerates every candidate plan, costs each by
+    lowering and annotating it against catalog statistics, and picks the
+    strict argmin — on equal cost the first enumerated candidate wins,
+    which enforces the tie policy (the paper's originals over extensions,
+    index over scan, packed over handle).  [stats] defaults to a fresh
+    {!Tb_statcore.Stat_catalog.analyze}; pass a retained catalog so
+    validate-stage feedback reaches the next optimization.  Never
+    executes and never charges. *)
+val optimize :
+  ?stats:Tb_statcore.Stat_catalog.t ->
+  ?organization:Estimate.organization ->
+  ?batch:int ->
+  Tb_store.Database.t ->
+  string ->
+  decision
+
+(** The full pipeline: optimize, execute the chosen tree, then validate —
+    reconcile every operator's estimate against its accounted frame,
+    feeding mis-estimates (q-error > 2) back into the decision's
+    catalog. *)
+val run_optimized_explained :
+  ?stats:Tb_statcore.Stat_catalog.t ->
+  ?organization:Estimate.organization ->
+  ?batch:int ->
+  ?keep:bool ->
+  Tb_store.Database.t ->
+  string ->
+  Query_result.t * decision * Op.totals * Exec.est_check list
+
+val run_optimized :
+  ?stats:Tb_statcore.Stat_catalog.t ->
+  ?organization:Estimate.organization ->
+  ?batch:int ->
+  ?keep:bool ->
+  Tb_store.Database.t ->
+  string ->
+  Query_result.t
+
+(** The sharded-vs-unsharded break-even, decided from statistics alone. *)
+type shard_decision = {
+  sd_shards : int;
+  sd_unsharded_ms : float;
+  sd_sharded_ms : float;
+  sd_use_sharded : bool;
+  sd_decision : decision;
+}
+
+(** [optimize_sharded smap text] optimizes against the merged global
+    catalog, then costs the chosen plan's sharded rewrite (each lane
+    against a 1/S-scaled view, fork/join elapsed at the Gather) and says
+    which side of the break-even the query falls on.  Nothing executes. *)
+val optimize_sharded :
+  ?organization:Estimate.organization ->
+  ?batch:int ->
+  Tb_store.Shard_map.t ->
+  string ->
+  shard_decision

@@ -4,10 +4,12 @@ let stat_cls = "Stat"
 let query_cls = "Query"
 let extent_cls = "Extent"
 let system_cls = "System"
+let estimate_cls = "Estimate"
 let stats_extent = "Stats"
 let queries_extent = "Queries"
 let extents_extent = "Extents"
 let systems_extent = "Systems"
+let estimates_extent = "Estimates"
 
 (* Figure 3, with the one adaptation that [ElapsedTime] is stored in
    milliseconds as an integer so that it can be indexed and compared by the
@@ -70,6 +72,22 @@ let schema =
               ("SCMissrate", Schema.TInt);
             ];
         };
+        (* The validate stage's audit trail: one object per reconciled
+           operator, in the same queryable store the paper's Stat objects
+           live in.  Times are integer milliseconds (the OQL subset
+           indexes integers only); the q-error is stored in percent. *)
+        {
+          Schema.cls_name = estimate_cls;
+          attrs =
+            [
+              ("numtest", Schema.TInt);
+              ("operator", Schema.TString);
+              ("EstimatedMs", Schema.TInt);
+              ("ActualMs", Schema.TInt);
+              ("QErrorPct", Schema.TInt);
+              ("fedback", Schema.TBool);
+            ];
+        };
       ]
     ~roots:
       [
@@ -77,4 +95,5 @@ let schema =
         (queries_extent, Schema.TSet (Schema.TRef query_cls));
         (extents_extent, Schema.TSet (Schema.TRef extent_cls));
         (systems_extent, Schema.TSet (Schema.TRef system_cls));
+        (estimates_extent, Schema.TSet (Schema.TRef estimate_cls));
       ]

@@ -13,7 +13,13 @@ val query_cls : string
 val extent_cls : string
 val system_cls : string
 
+(** The validate stage's audit trail: one object per reconciled operator
+    (estimated vs actual ms, q-error in percent, whether it fed a
+    correction back). *)
+val estimate_cls : string
+
 val stats_extent : string
 val queries_extent : string
 val extents_extent : string
 val systems_extent : string
+val estimates_extent : string

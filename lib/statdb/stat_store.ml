@@ -44,6 +44,7 @@ let create () =
       (Stat_schema.query_cls, "queries");
       (Stat_schema.extent_cls, "extents");
       (Stat_schema.system_cls, "systems");
+      (Stat_schema.estimate_cls, "estimates");
     ];
   (* Index the stats on test number so they can be ranged over in OQL. *)
   let t = { db; systems = []; extents = []; recorded = [] } in
@@ -136,9 +137,88 @@ let count t = List.length t.recorded
 let observations t = List.rev_map snd t.recorded
 let query t oql = Tb_query.Planner.run t.db oql ~keep:true
 
+(* One validate-stage reconciliation, made queryable: ms figures rounded
+   to integers (the indexable type), q-error in percent. *)
+let record_estimate t ~numtest (ec : Tb_query.Exec.est_check) =
+  Database.insert_object t.db ~cls:Stat_schema.estimate_cls
+    (Value.Tuple
+       [
+         ("numtest", Value.Int numtest);
+         ("operator", Value.String ec.Tb_query.Exec.ec_key);
+         ( "EstimatedMs",
+           Value.Int (int_of_float (Float.round ec.Tb_query.Exec.ec_est_ms)) );
+         ( "ActualMs",
+           Value.Int (int_of_float (Float.round ec.Tb_query.Exec.ec_actual_ms)) );
+         ( "QErrorPct",
+           Value.Int (int_of_float (Float.round (ec.Tb_query.Exec.ec_q *. 100.0))) );
+         ("fedback", Value.Bool ec.Tb_query.Exec.ec_fed_back);
+       ])
+
+let record_estimates t ~numtest checks =
+  List.map (record_estimate t ~numtest) checks
+
 let csv_header =
   "numtest,algo,cluster,database,selectivity,cold,elapsed_s,rpcs,rpc_pages,\
    d2sc_reads,sc2cc_reads,cc_missrate,sc_missrate,cc_pagefaults,query"
+
+(* RFC 4180 quoting: a field containing a comma, a double quote, or a line
+   break is wrapped in double quotes with embedded quotes doubled.  The old
+   exporter printed text fields raw (and the query through OCaml's [%S]),
+   so an algo name or query containing a comma shifted every column after
+   it. *)
+let csv_escape s =
+  let needs_quoting =
+    String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n' || ch = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun ch ->
+        if ch = '"' then Buffer.add_string buf "\"\""
+        else Buffer.add_char buf ch)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+(* Split one CSV record back into fields (the inverse of [csv_escape]
+   applied per field) — exposed so the export can be round-trip tested.
+   The record may span multiple source lines when a quoted field embeds a
+   newline; [csv_split] consumes the whole string as one record. *)
+let csv_split line =
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let n = String.length line in
+  let rec plain i =
+    if i >= n then finish ()
+    else
+      match line.[i] with
+      | ',' ->
+          fields := Buffer.contents buf :: !fields;
+          Buffer.clear buf;
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | ch ->
+          Buffer.add_char buf ch;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then finish () (* unterminated quote: best effort *)
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | ch ->
+          Buffer.add_char buf ch;
+          quoted (i + 1)
+  and finish () =
+    fields := Buffer.contents buf :: !fields;
+    List.rev !fields
+  in
+  plain 0
 
 let to_csv t =
   let buf = Buffer.create 4096 in
@@ -147,9 +227,10 @@ let to_csv t =
   List.iter
     (fun o ->
       Buffer.add_string buf
-        (Printf.sprintf "%d,%s,%s,%s,%d,%b,%.3f,%d,%d,%d,%d,%.1f,%.1f,%d,%S\n"
-           o.numtest o.algo o.cluster o.database o.selectivity o.cold
-           o.elapsed_s o.rpcs o.rpc_pages o.d2sc_reads o.sc2cc_reads
-           o.cc_missrate o.sc_missrate o.cc_pagefaults o.query_text))
+        (Printf.sprintf "%d,%s,%s,%s,%d,%b,%.3f,%d,%d,%d,%d,%.1f,%.1f,%d,%s\n"
+           o.numtest (csv_escape o.algo) (csv_escape o.cluster)
+           (csv_escape o.database) o.selectivity o.cold o.elapsed_s o.rpcs
+           o.rpc_pages o.d2sc_reads o.sc2cc_reads o.cc_missrate o.sc_missrate
+           o.cc_pagefaults (csv_escape o.query_text)))
     (observations t);
   Buffer.contents buf

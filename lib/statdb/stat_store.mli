@@ -52,6 +52,26 @@ val observations : t -> observation list
     [select s.ElapsedTimeMs from s in Stats where s.numtest < 10]. *)
 val query : t -> string -> Tb_query.Query_result.t
 
+(** [record_estimate t ~numtest check] stores one validate-stage
+    reconciliation as an [Estimate] object (ms rounded to integers,
+    q-error in percent) and returns its Rid.  [record_estimates] stores a
+    whole check list, e.g. the output of [Planner.run_optimized_explained]. *)
+val record_estimate :
+  t -> numtest:int -> Tb_query.Exec.est_check -> Tb_storage.Rid.t
+
+val record_estimates :
+  t -> numtest:int -> Tb_query.Exec.est_check list -> Tb_storage.Rid.t list
+
 (** CSV export (header + one line per stat) — the paper fed its results to
-    data-analysis tools and Gnuplot; this is our conversion path. *)
+    data-analysis tools and Gnuplot; this is our conversion path.  Fields
+    containing commas, double quotes or line breaks are RFC 4180 quoted. *)
 val to_csv : t -> string
+
+(** [csv_escape s] quotes one field the way {!to_csv} does (identity when
+    no quoting is needed). *)
+val csv_escape : string -> string
+
+(** [csv_split record] splits one CSV record back into its fields,
+    undoing {!csv_escape} — the round-trip inverse used by the tests.  A
+    record whose quoted field embeds a newline is one string here. *)
+val csv_split : string -> string list

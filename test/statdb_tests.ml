@@ -84,6 +84,66 @@ let test_csv_export () =
   check_bool "algo present" true
     (List.exists (fun l -> String.length l > 2 && String.sub l 0 2 = "2,") lines)
 
+let test_csv_round_trip () =
+  (* csv_split is the exact inverse of csv_escape, field by field. *)
+  let fields =
+    [
+      "plain";
+      "has,comma";
+      "has \"quotes\"";
+      "comma, and \"both\"";
+      "line\nbreak";
+      "cr\r\nlf";
+      "";
+      "  spaces  ";
+      "\"";
+      ",";
+    ]
+  in
+  let record = String.concat "," (List.map Stat_store.csv_escape fields) in
+  Alcotest.(check (list string)) "escape/split inverse" fields
+    (Stat_store.csv_split record);
+  (* A query containing commas and quotes survives a full to_csv line. *)
+  let t = Stat_store.create () in
+  let tricky = "select [pa.name, pa.age] from pa in \"Patients\", wk in pa.kin" in
+  ignore
+    (Stat_store.record t { (obs ()) with Stat_store.query_text = tricky });
+  let csv = Stat_store.to_csv t in
+  match String.split_on_char '\n' (String.trim csv) with
+  | [ header; row ] ->
+      let names = Stat_store.csv_split header in
+      let cells = Stat_store.csv_split row in
+      check_int "row matches header" (List.length names) (List.length cells);
+      check_bool "query text intact" true
+        (List.exists (String.equal tricky) cells)
+  | lines -> Alcotest.failf "expected 2 csv lines, got %d" (List.length lines)
+
+let test_record_estimates () =
+  let t = Stat_store.create () in
+  let check q fed =
+    {
+      Tb_query.Exec.ec_label = "fetch(pa:Patient)";
+      ec_key = "fetch/Patient";
+      ec_est_ms = 100.0 *. q;
+      ec_actual_ms = 100.0;
+      ec_q = q;
+      ec_fed_back = fed;
+    }
+  in
+  let rids =
+    Stat_store.record_estimates t ~numtest:7 [ check 1.25 false; check 3.0 true ]
+  in
+  check_int "two Estimate objects" 2 (List.length rids);
+  check_int "Estimate extent" 2
+    (Tb_store.Database.cardinality (Stat_store.db t)
+       ~cls:Stat_schema.estimate_cls);
+  let r =
+    Stat_store.query t
+      "select e.QErrorPct from e in Estimates where e.QErrorPct < 200"
+  in
+  check_int "queryable back" 1 (Tb_query.Query_result.count r);
+  Tb_query.Query_result.dispose r
+
 let test_gnuplot_report () =
   let t = Stat_store.create () in
   List.iter
@@ -121,4 +181,6 @@ let suite =
     Alcotest.test_case "OQL over the stats" `Quick test_oql_over_stats;
     Alcotest.test_case "extents and link ratios" `Quick test_extents_and_links;
     Alcotest.test_case "csv export" `Quick test_csv_export;
+    Alcotest.test_case "csv round trip" `Quick test_csv_round_trip;
+    Alcotest.test_case "record estimates" `Quick test_record_estimates;
   ]
